@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/expt"
+)
+
+// benchExperiment runs one registered experiment per iteration and
+// renders its table to io.Discard, so `go test -bench` both times the
+// full figure regeneration and exercises the rendering path. Run
+// cmd/deepbench to see the tables themselves.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := e.Run()
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE01OffloadPath regenerates the accelerated-cluster vs
+// cluster-of-accelerators comparison (paper slides 6-8).
+func BenchmarkE01OffloadPath(b *testing.B) { benchExperiment(b, "E01") }
+
+// BenchmarkE02Assignment regenerates the static vs dynamic booster
+// assignment comparison (slide 8).
+func BenchmarkE02Assignment(b *testing.B) { benchExperiment(b, "E02") }
+
+// BenchmarkE03Pressure regenerates the communication-pressure-relief
+// figure (slide 10).
+func BenchmarkE03Pressure(b *testing.B) { benchExperiment(b, "E03") }
+
+// BenchmarkE04Scalability regenerates the application-scalability /
+// DEEP-positioning figure (slides 9, 18).
+func BenchmarkE04Scalability(b *testing.B) { benchExperiment(b, "E04") }
+
+// BenchmarkE05Spawn regenerates the MPI_Comm_spawn startup-latency
+// series (slides 21, 26-27).
+func BenchmarkE05Spawn(b *testing.B) { benchExperiment(b, "E05") }
+
+// BenchmarkE06Cholesky regenerates the OmpSs tiled-Cholesky dataflow
+// vs fork-join figure (slide 23).
+func BenchmarkE06Cholesky(b *testing.B) { benchExperiment(b, "E06") }
+
+// BenchmarkE07GlobalMPI regenerates the intra-fabric vs cross-gateway
+// communication figure (slides 24-29).
+func BenchmarkE07GlobalMPI(b *testing.B) { benchExperiment(b, "E07") }
+
+// BenchmarkE08VeloRMA regenerates the VELO vs RMA engine crossover
+// (slide 16).
+func BenchmarkE08VeloRMA(b *testing.B) { benchExperiment(b, "E08") }
+
+// BenchmarkE09Torus regenerates the 3D-torus latency/throughput series
+// (slide 16).
+func BenchmarkE09Torus(b *testing.B) { benchExperiment(b, "E09") }
+
+// BenchmarkE10RAS regenerates the CRC/link-level-retransmission figure
+// (slide 16).
+func BenchmarkE10RAS(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Energy regenerates the energy-efficiency positioning
+// (slides 3, 15).
+func BenchmarkE11Energy(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Scaling regenerates the technology-scaling trajectories
+// (slides 2-4).
+func BenchmarkE12Scaling(b *testing.B) { benchExperiment(b, "E12") }

@@ -1,0 +1,62 @@
+// Command deepbench regenerates every table/figure of the paper
+// reproduction. With no flags it runs all experiments; -run selects a
+// comma-separated subset; -csv switches to CSV output; -list shows the
+// registry.
+//
+//	deepbench                 # all experiments, aligned tables
+//	deepbench -run E01,E08    # two experiments
+//	deepbench -csv -run E04   # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	listFlag := flag.Bool("list", false, "list registered experiments and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range expt.All() {
+			fmt.Printf("%s  %-55s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	var ids []string
+	if *runFlag == "" {
+		ids = expt.IDs()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for i, id := range ids {
+		e, ok := expt.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deepbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		tab := e.Run()
+		var err error
+		if *csvFlag {
+			err = tab.CSV(os.Stdout)
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			err = tab.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

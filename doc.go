@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "The DEEP
+// Project: Pursuing Cluster-Computing in the Many-Core Era" (Eicker,
+// Lippert, Suarez, Moschny; HUCAA/ICPP 2013): the Cluster-Booster
+// architecture, its Global-MPI and OmpSs software stack, and the
+// hardware substrates (InfiniBand fat tree, EXTOLL 3D torus with
+// VELO/RMA/SMFU engines, PCIe baseline, Xeon/Xeon Phi node models)
+// they run on — all simulated, since the original system is hardware.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured records. The benchmarks in bench_test.go
+// regenerate every figure via the internal/expt registry.
+package repro

@@ -1,0 +1,241 @@
+// Package apps contains the application workloads of the DEEP
+// reproduction: the paper's tiled-Cholesky OmpSs example, a
+// distributed sparse matrix-vector iteration (the "highly scalable"
+// application class), a 2D Jacobi stencil, and synthetic communication
+// pattern generators for the fabric experiments.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/machine"
+	"repro/internal/ompss"
+	"repro/internal/sim"
+)
+
+// Cholesky is a tiled Cholesky factorisation driven exactly like the
+// paper's OmpSs example (slide 23): the sequential tile loop nest
+// submits potrf/trsm/gemm/syrk tasks whose input/inout annotations let
+// the runtime extract the dataflow parallelism.
+type Cholesky struct {
+	// NT is the tile grid dimension; TS the tile size.
+	NT, TS int
+	// Tiles holds the matrix, tile (i,j) at index i*NT+j; only the
+	// lower triangle is factored.
+	Tiles []*linalg.Tile
+}
+
+// NewCholesky packs an n x n SPD matrix (n divisible by ts) into
+// tiles.
+func NewCholesky(m *linalg.Matrix, ts int) (*Cholesky, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("apps: Cholesky of %dx%d matrix", m.Rows, m.Cols)
+	}
+	if ts <= 0 || m.Rows%ts != 0 {
+		return nil, fmt.Errorf("apps: tile size %d does not divide %d", ts, m.Rows)
+	}
+	nt := m.Rows / ts
+	c := &Cholesky{NT: nt, TS: ts, Tiles: make([]*linalg.Tile, nt*nt)}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			t := linalg.NewTile(ts)
+			for a := 0; a < ts; a++ {
+				for b := 0; b < ts; b++ {
+					t.Set(a, b, m.At(i*ts+a, j*ts+b))
+				}
+			}
+			c.Tiles[i*nt+j] = t
+		}
+	}
+	return c, nil
+}
+
+// tile returns tile (i, j).
+func (c *Cholesky) tile(i, j int) *linalg.Tile { return c.Tiles[i*c.NT+j] }
+
+// errCapture collects the first kernel error across tasks; tasks
+// serialised on the same tiles make the zero-mutex version racy, so a
+// tiny guard struct is used.
+type errCapture struct {
+	mu  chanMutex
+	err error
+}
+
+// chanMutex is a 1-slot channel used as a mutex to avoid importing
+// sync for one field (and to keep errCapture copyable-by-pointer
+// semantics explicit).
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex { return make(chanMutex, 1) }
+func (m chanMutex) lock()     { m <- struct{}{} }
+func (m chanMutex) unlock()   { <-m }
+
+func (e *errCapture) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.unlock()
+}
+
+// RunDataflow factors the matrix with full dataflow parallelism on the
+// given OmpSs runtime. It mirrors the paper's loop nest:
+//
+//	for k: potrf(A[k][k])
+//	  for i>k: trsm(A[k][k], A[k][i])
+//	  for i>k: { for j<i: gemm(A[k][i],A[k][j],A[j][i]); syrk(A[k][i],A[i][i]) }
+//
+// The runtime must be dedicated to this call (Taskwait is global).
+func (c *Cholesky) RunDataflow(rt *ompss.Runtime) error {
+	ec := &errCapture{mu: newChanMutex()}
+	c.submit(rt, ec, nil)
+	rt.Taskwait()
+	return ec.err
+}
+
+// submit issues the task graph; if barrier is non-nil it is invoked
+// after each outer iteration (fork-join mode).
+func (c *Cholesky) submit(rt *ompss.Runtime, ec *errCapture, barrier func()) {
+	nt := c.NT
+	costs := c.kernelCosts(machine.Xeon)
+	for k := 0; k < nt; k++ {
+		k := k
+		akk := c.tile(k, k)
+		rt.Submit("potrf", func() { ec.set(linalg.Potrf(akk)) }, ompss.Deps{
+			InOut: []any{akk}, Priority: 3, Cost: costs["potrf"],
+		})
+		for i := k + 1; i < nt; i++ {
+			aki := c.tile(i, k)
+			rt.Submit("trsm", func() { linalg.Trsm(akk, aki) }, ompss.Deps{
+				In: []any{akk}, InOut: []any{aki}, Priority: 2, Cost: costs["trsm"],
+			})
+		}
+		for i := k + 1; i < nt; i++ {
+			aik := c.tile(i, k)
+			for j := k + 1; j < i; j++ {
+				ajk := c.tile(j, k)
+				aij := c.tile(i, j)
+				rt.Submit("gemm", func() { linalg.Gemm(aik, ajk, aij) }, ompss.Deps{
+					In: []any{aik, ajk}, InOut: []any{aij}, Cost: costs["gemm"],
+				})
+			}
+			aii := c.tile(i, i)
+			rt.Submit("syrk", func() { linalg.Syrk(aik, aii) }, ompss.Deps{
+				In: []any{aik}, InOut: []any{aii}, Priority: 1, Cost: costs["syrk"],
+			})
+		}
+		if barrier != nil {
+			barrier()
+		}
+	}
+}
+
+// RunForkJoin factors with a barrier after every outer iteration — the
+// fork-join baseline the dataflow model is compared against.
+func (c *Cholesky) RunForkJoin(rt *ompss.Runtime) error {
+	ec := &errCapture{mu: newChanMutex()}
+	c.submit(rt, ec, rt.Taskwait)
+	rt.Taskwait()
+	return ec.err
+}
+
+// Result reassembles the factored matrix (lower triangle; the strict
+// upper triangle of off-diagonal tiles above the diagonal is left as
+// the untouched input, so callers should compare lower triangles).
+func (c *Cholesky) Result() *linalg.Matrix {
+	n := c.NT * c.TS
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < c.NT; i++ {
+		for j := 0; j < c.NT; j++ {
+			t := c.tile(i, j)
+			for a := 0; a < c.TS; a++ {
+				for b := 0; b < c.TS; b++ {
+					m.Set(i*c.TS+a, j*c.TS+b, t.At(a, b))
+				}
+			}
+		}
+	}
+	return m
+}
+
+// kernelCosts models per-kernel durations on a node: flop counts of
+// the four BLAS kernels at the node's per-core rate (tasks are
+// single-core units in OmpSs).
+func (c *Cholesky) kernelCosts(m machine.NodeModel) map[string]sim.Time {
+	ts := float64(c.TS)
+	perCore := m.PeakGFlops * 1e9 / float64(m.Cores)
+	cost := func(flops float64) sim.Time {
+		return sim.FromSeconds(flops / perCore)
+	}
+	return map[string]sim.Time{
+		"potrf": cost(ts * ts * ts / 3),
+		"trsm":  cost(ts * ts * ts),
+		"gemm":  cost(2 * ts * ts * ts),
+		"syrk":  cost(ts * ts * ts),
+	}
+}
+
+// Graph dry-runs the submission into a GraphBuilder for makespan
+// analysis, with kernel costs modelled on node model m.
+func (c *Cholesky) Graph(m machine.NodeModel) *ompss.GraphBuilder {
+	g := ompss.NewGraphBuilder()
+	nt := c.NT
+	costs := c.kernelCosts(m)
+	for k := 0; k < nt; k++ {
+		akk := c.tile(k, k)
+		g.Add("potrf", ompss.Deps{InOut: []any{akk}, Priority: 3, Cost: costs["potrf"]})
+		for i := k + 1; i < nt; i++ {
+			g.Add("trsm", ompss.Deps{
+				In: []any{akk}, InOut: []any{c.tile(i, k)},
+				Priority: 2, Cost: costs["trsm"],
+			})
+		}
+		for i := k + 1; i < nt; i++ {
+			aik := c.tile(i, k)
+			for j := k + 1; j < i; j++ {
+				g.Add("gemm", ompss.Deps{
+					In: []any{aik, c.tile(j, k)}, InOut: []any{c.tile(i, j)},
+					Cost: costs["gemm"],
+				})
+			}
+			g.Add("syrk", ompss.Deps{
+				In: []any{aik}, InOut: []any{c.tile(i, i)},
+				Priority: 1, Cost: costs["syrk"],
+			})
+		}
+	}
+	return g
+}
+
+// ForkJoinMakespan models the fork-join baseline: each outer iteration
+// is a level set executed to completion before the next (barrier after
+// each k), scheduled on w workers.
+func (c *Cholesky) ForkJoinMakespan(m machine.NodeModel, w int) sim.Time {
+	costs := c.kernelCosts(m)
+	var total sim.Time
+	nt := c.NT
+	for k := 0; k < nt; k++ {
+		// Phase 1: potrf alone.
+		total += costs["potrf"]
+		// Phase 2: trsms in parallel.
+		trsms := nt - k - 1
+		total += waves(trsms, w) * costs["trsm"]
+		// Phase 3: gemms and syrks in parallel.
+		gemms := (nt - k - 1) * (nt - k - 2) / 2
+		syrks := nt - k - 1
+		total += waves(gemms, w)*costs["gemm"] + waves(syrks, w)*costs["syrk"]
+	}
+	return total
+}
+
+// waves returns ceil(n/w) as a sim.Time multiplier.
+func waves(n, w int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time((n + w - 1) / w)
+}

@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// NBody is a direct-summation gravitational N-body step loop — a
+// representative of the paper's "complex" application class: every
+// rank needs every other rank's data each step (all-to-all style
+// communication via Allgather), the opposite end of the spectrum from
+// the nearest-neighbour SpMV/stencil codes.
+type NBody struct {
+	N     int // bodies; must be divisible by the rank count
+	Steps int
+	DT    float64
+	// Softening avoids singularities in the direct sum.
+	Softening float64
+}
+
+// body state is stored as structure-of-arrays slices for cheap
+// Allgather payloads.
+type nbState struct {
+	px, py, vx, vy, mass []float64
+}
+
+func (s *NBody) initState(n int) *nbState {
+	st := &nbState{
+		px: make([]float64, n), py: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n),
+		mass: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// Deterministic pseudo-random disc of bodies.
+		a := float64((i*2654435761)%360) * math.Pi / 180
+		r := 1 + float64((i*40503)%100)/100
+		st.px[i] = r * math.Cos(a)
+		st.py[i] = r * math.Sin(a)
+		st.vx[i] = -st.py[i] * 0.1
+		st.vy[i] = st.px[i] * 0.1
+		st.mass[i] = 1 + float64(i%7)/7
+	}
+	return st
+}
+
+func (s *NBody) soft() float64 {
+	if s.Softening <= 0 {
+		return 0.05
+	}
+	return s.Softening
+}
+
+// accel computes the acceleration on body i given all positions.
+func accel(px, py, mass []float64, xi, yi float64, i int, soft float64) (ax, ay float64) {
+	s2 := soft * soft
+	for j := range px {
+		if j == i {
+			continue
+		}
+		dx := px[j] - xi
+		dy := py[j] - yi
+		d2 := dx*dx + dy*dy + s2
+		inv := mass[j] / (d2 * math.Sqrt(d2))
+		ax += dx * inv
+		ay += dy * inv
+	}
+	return
+}
+
+// Run executes the step loop on the communicator; each rank owns
+// N/size bodies and gathers all positions every step. It returns the
+// rank's final (px, py) coordinates interleaved [x0 y0 x1 y1 ...].
+func (s *NBody) Run(comm *mpi.Comm) ([]float64, error) {
+	if s.N < 2 || s.Steps < 1 {
+		return nil, fmt.Errorf("apps: NBody n=%d steps=%d", s.N, s.Steps)
+	}
+	size := comm.Size()
+	if s.N%size != 0 {
+		return nil, fmt.Errorf("apps: %d bodies over %d ranks", s.N, size)
+	}
+	local := s.N / size
+	lo := comm.Rank() * local
+	st := s.initState(s.N)
+	soft := s.soft()
+	for step := 0; step < s.Steps; step++ {
+		// Gather all current positions (every rank broadcasts its
+		// block — the all-to-all volume the complex class suffers).
+		mine := make([]float64, 2*local)
+		for i := 0; i < local; i++ {
+			mine[2*i] = st.px[lo+i]
+			mine[2*i+1] = st.py[lo+i]
+		}
+		all := comm.Allgather(mine)
+		for r, blk := range all {
+			b := mpi.AsFloat64s(blk)
+			for i := 0; i < local; i++ {
+				st.px[r*local+i] = b[2*i]
+				st.py[r*local+i] = b[2*i+1]
+			}
+		}
+		// Integrate the local block (leapfrog-ish Euler for test
+		// purposes; symplecticity is irrelevant to the reproduction).
+		for i := lo; i < lo+local; i++ {
+			ax, ay := accel(st.px, st.py, st.mass, st.px[i], st.py[i], i, soft)
+			st.vx[i] += ax * s.DT
+			st.vy[i] += ay * s.DT
+		}
+		for i := lo; i < lo+local; i++ {
+			st.px[i] += st.vx[i] * s.DT
+			st.py[i] += st.vy[i] * s.DT
+		}
+	}
+	out := make([]float64, 2*local)
+	for i := 0; i < local; i++ {
+		out[2*i] = st.px[lo+i]
+		out[2*i+1] = st.py[lo+i]
+	}
+	return out, nil
+}
+
+// RunSequential is the single-goroutine reference.
+func (s *NBody) RunSequential() []float64 {
+	st := s.initState(s.N)
+	soft := s.soft()
+	for step := 0; step < s.Steps; step++ {
+		ax := make([]float64, s.N)
+		ay := make([]float64, s.N)
+		for i := 0; i < s.N; i++ {
+			ax[i], ay[i] = accel(st.px, st.py, st.mass, st.px[i], st.py[i], i, soft)
+		}
+		for i := 0; i < s.N; i++ {
+			st.vx[i] += ax[i] * s.DT
+			st.vy[i] += ay[i] * s.DT
+			st.px[i] += st.vx[i] * s.DT
+			st.py[i] += st.vy[i] * s.DT
+		}
+	}
+	out := make([]float64, 2*s.N)
+	for i := 0; i < s.N; i++ {
+		out[2*i] = st.px[i]
+		out[2*i+1] = st.py[i]
+	}
+	return out
+}
+
+// CommBytesPerStep returns the Allgather volume one step moves per
+// rank: everyone receives all N positions.
+func (s *NBody) CommBytesPerStep() int { return 16 * s.N }

@@ -1,0 +1,346 @@
+package cbp
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{Type: FrameData, Flags: 3, Seq: 42, Src: 7, Dst: 9,
+		Payload: []byte("cluster-booster")}
+	buf, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if got.Type != f.Type || got.Flags != f.Flags || got.Seq != f.Seq ||
+		got.Src != f.Src || got.Dst != f.Dst || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+// TestFrameRoundTripProperty: arbitrary frames survive encode/decode.
+func TestFrameRoundTripProperty(t *testing.T) {
+	check := func(seq, src, dst uint32, flags uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		f := &Frame{Type: FrameData, Flags: flags, Seq: seq, Src: src, Dst: dst, Payload: payload}
+		buf, err := f.Encode()
+		if err != nil {
+			return false
+		}
+		got, _, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Src == src && got.Dst == dst &&
+			got.Flags == flags && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	f := &Frame{Type: FrameData, Seq: 1, Src: 2, Dst: 3, Payload: []byte("payload")}
+	buf, _ := f.Encode()
+	// Flip every byte position in turn; decode must never silently
+	// accept a corrupted frame.
+	for i := range buf {
+		c := append([]byte(nil), buf...)
+		c[i] ^= 0xff
+		if _, _, err := Decode(c); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("nil buffer: %v", err)
+	}
+	if _, _, err := Decode(make([]byte, 10)); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	bad := make([]byte, headerBytes)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("zero magic: %v", err)
+	}
+}
+
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	f := &Frame{Type: FrameData, Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Encode(); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("oversize accepted: %v", err)
+	}
+}
+
+func TestFragmentReassemble(t *testing.T) {
+	r := rng.New(5)
+	payload := make([]byte, 3*MaxPayload+1234)
+	for i := range payload {
+		payload[i] = byte(r.Uint64())
+	}
+	frames := Fragment(1, 2, 100, payload)
+	if len(frames) != 4 {
+		t.Fatalf("fragments = %d", len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != 100+uint32(i) || f.Src != 1 || f.Dst != 2 {
+			t.Fatalf("frame %d header %+v", i, f)
+		}
+	}
+	got, err := Reassemble(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembled payload differs")
+	}
+}
+
+func TestFragmentEmpty(t *testing.T) {
+	frames := Fragment(1, 2, 0, nil)
+	if len(frames) != 1 || len(frames[0].Payload) != 0 {
+		t.Fatalf("empty fragment %+v", frames)
+	}
+}
+
+func TestReassembleDetectsGaps(t *testing.T) {
+	frames := Fragment(1, 2, 0, make([]byte, 2*MaxPayload))
+	frames[1].Seq = 5
+	if _, err := Reassemble(frames); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+	if _, err := Reassemble(nil); err == nil {
+		t.Fatal("empty reassemble accepted")
+	}
+}
+
+func TestCreditWindowBasics(t *testing.T) {
+	w := NewCreditWindow(2)
+	if !w.TryTake() || !w.TryTake() {
+		t.Fatal("initial credits unavailable")
+	}
+	if w.TryTake() {
+		t.Fatal("third credit granted from window of 2")
+	}
+	w.Return(1)
+	if w.Available() != 1 {
+		t.Fatalf("available = %d", w.Available())
+	}
+	if !w.Take() {
+		t.Fatal("Take failed with credit available")
+	}
+}
+
+func TestCreditWindowBlocksAndWakes(t *testing.T) {
+	w := NewCreditWindow(1)
+	w.Take()
+	done := make(chan bool)
+	go func() { done <- w.Take() }()
+	// Wait until the taker has registered its blocked state so the
+	// wake-up path is actually exercised.
+	for w.WaitCount() == 0 {
+		runtime.Gosched()
+	}
+	w.Return(1)
+	if !<-done {
+		t.Fatal("blocked taker not granted after Return")
+	}
+	if w.WaitCount() != 1 {
+		t.Fatalf("waits = %d", w.WaitCount())
+	}
+}
+
+func TestCreditWindowClose(t *testing.T) {
+	w := NewCreditWindow(1)
+	w.Take()
+	done := make(chan bool)
+	go func() { done <- w.Take() }()
+	w.Close()
+	if <-done {
+		t.Fatal("Take succeeded on closed window")
+	}
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	w := NewCreditWindow(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow accepted")
+		}
+	}()
+	w.Return(1)
+}
+
+func TestCreditConcurrentConservation(t *testing.T) {
+	const max = 8
+	w := NewCreditWindow(max)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if w.Take() {
+					w.Return(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Available() != max {
+		t.Fatalf("credits leaked: %d != %d", w.Available(), max)
+	}
+}
+
+func newBridge(t *testing.T) (*sim.Engine, *Gateway) {
+	t.Helper()
+	eng := sim.New()
+	cluster := fabric.MustNetwork(eng, topology.NewFatTree(4, 2, 2), fabric.InfiniBandFDR, 1)
+	booster := fabric.MustNetwork(eng, topology.NewTorus3D(2, 2, 2), fabric.Extoll, 2)
+	gw := NewGateway(cluster, booster, 0, 0, 1500*sim.Nanosecond, 4*fabric.GB)
+	return eng, gw
+}
+
+func TestGatewayForwardsBothWays(t *testing.T) {
+	eng, gw := newBridge(t)
+	var t1, t2 sim.Time
+	gw.ToBooster(3, 7, 1<<20, func(at sim.Time, err error) {
+		if err != nil {
+			t.Errorf("ToBooster: %v", err)
+		}
+		t1 = at
+	})
+	eng.Run()
+	gw.ToCluster(7, 3, 1<<20, func(at sim.Time, err error) {
+		if err != nil {
+			t.Errorf("ToCluster: %v", err)
+		}
+		t2 = at
+	})
+	eng.Run()
+	if t1 == 0 || t2 <= t1 {
+		t.Fatalf("forward times %v %v", t1, t2)
+	}
+	if gw.Forwarded != 2 || gw.BytesForwarded != 2<<20 {
+		t.Fatalf("gateway stats %d/%d", gw.Forwarded, gw.BytesForwarded)
+	}
+}
+
+func TestGatewaySlowerThanIntraFabric(t *testing.T) {
+	eng, gw := newBridge(t)
+	const size = 1 << 20
+	var cross sim.Time
+	gw.ToBooster(3, 7, size, func(at sim.Time, err error) { cross = at })
+	eng.Run()
+	intra := gw.Booster.ZeroLoadLatency(1, 7, size)
+	if cross <= intra {
+		t.Fatalf("bridge crossing %v not slower than intra-booster %v", cross, intra)
+	}
+}
+
+func TestGatewayIsSharedBottleneck(t *testing.T) {
+	eng, gw := newBridge(t)
+	const size = 4 << 20
+	var times []sim.Time
+	for i := 0; i < 4; i++ {
+		gw.ToBooster(topology.NodeID(i+1), topology.NodeID(i+1), size,
+			func(at sim.Time, err error) { times = append(times, at) })
+	}
+	eng.Run()
+	if len(times) != 4 {
+		t.Fatalf("completed %d", len(times))
+	}
+	// The last message should be delayed by roughly 3 relay slots.
+	relay := sim.FromSeconds(float64(size) / (4 * fabric.GB))
+	if times[len(times)-1]-times[0] < 2*relay {
+		t.Fatalf("no bridge serialisation visible: %v", times)
+	}
+}
+
+func TestDeepTransportCostStructure(t *testing.T) {
+	tr := NewDeepTransport(16, 8)
+	const size = 4096
+	intraCluster := tr.Cost(1, 2, size)
+	intraBooster := tr.Cost(tr.BoosterNode(1), tr.BoosterNode(2), size)
+	cross := tr.Cost(1, tr.BoosterNode(2), size)
+	if cross <= intraCluster || cross <= intraBooster {
+		t.Fatalf("cross %v should exceed intra %v / %v", cross, intraCluster, intraBooster)
+	}
+	// Symmetric-ish both directions.
+	back := tr.Cost(tr.BoosterNode(2), 1, size)
+	diff := cross - back
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > cross/10 {
+		t.Fatalf("cross costs asymmetric: %v vs %v", cross, back)
+	}
+}
+
+func TestDeepTransportBoosterLatencyLower(t *testing.T) {
+	tr := NewDeepTransport(64, 64)
+	// Small-message neighbour latency should be lower on EXTOLL than on
+	// the IB fat tree (the EXTOLL design point).
+	ibNeighbor := tr.Cost(0, 1, 64)
+	exNeighbor := tr.Cost(tr.BoosterNode(0), tr.BoosterNode(1), 64)
+	if exNeighbor >= ibNeighbor {
+		t.Fatalf("EXTOLL neighbour %v not below IB %v", exNeighbor, ibNeighbor)
+	}
+}
+
+func TestTorusShapeCoversRequest(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 27, 60, 100, 512} {
+		x, y, z := torusShape(n)
+		if x*y*z < n {
+			t.Fatalf("shape %dx%dx%d < %d", x, y, z, n)
+		}
+		// Near-cubic: max dim at most 2x+1 min dim for reasonable n.
+		if x > 2*z+1 || z > 2*x+1 {
+			t.Fatalf("shape %dx%dx%d too skewed for %d", x, y, z, n)
+		}
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	for ft, want := range map[FrameType]string{
+		FrameData: "data", FrameCredit: "credit", FrameAck: "ack",
+		FrameControl: "control", FrameType(99): "frame-type-99",
+	} {
+		if got := ft.String(); got != want {
+			t.Errorf("%d -> %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	f := &Frame{Type: FrameData, Seq: 1, Src: 2, Dst: 3, Payload: make([]byte, 4096)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package cbp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CreditWindow implements the credit-based flow control of the
+// Cluster-Booster Protocol: the sender may only inject a frame while it
+// holds a credit; the receiver returns credits as it drains its
+// buffers. This bounds the buffer space a Booster Interface node must
+// provision per connection.
+type CreditWindow struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	max     int
+	closed  bool
+
+	// Waits counts how many Take calls had to block, a backpressure
+	// indicator surfaced in the bridge statistics.
+	Waits uint64
+}
+
+// NewCreditWindow returns a window with max initial credits.
+func NewCreditWindow(max int) *CreditWindow {
+	if max <= 0 {
+		panic(fmt.Sprintf("cbp: credit window of %d", max))
+	}
+	w := &CreditWindow{credits: max, max: max}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Take consumes one credit, blocking until one is available. It
+// returns false if the window was closed while waiting.
+func (w *CreditWindow) Take() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	waited := false
+	for w.credits == 0 && !w.closed {
+		if !waited {
+			w.Waits++
+			waited = true
+		}
+		w.cond.Wait()
+	}
+	if w.closed {
+		return false
+	}
+	w.credits--
+	return true
+}
+
+// TryTake consumes one credit without blocking.
+func (w *CreditWindow) TryTake() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.credits == 0 {
+		return false
+	}
+	w.credits--
+	return true
+}
+
+// Return gives back n credits (a credit frame arrived). Returning more
+// credits than the window size indicates a protocol bug and panics.
+func (w *CreditWindow) Return(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("cbp: returning %d credits", n))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.credits+n > w.max {
+		panic(fmt.Sprintf("cbp: credit overflow: %d + %d > %d", w.credits, n, w.max))
+	}
+	w.credits += n
+	w.cond.Broadcast()
+}
+
+// WaitCount returns how many Take calls have blocked so far.
+func (w *CreditWindow) WaitCount() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Waits
+}
+
+// Available returns the current credit count.
+func (w *CreditWindow) Available() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.credits
+}
+
+// Close releases all blocked takers.
+func (w *CreditWindow) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}

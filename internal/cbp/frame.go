@@ -1,0 +1,181 @@
+// Package cbp implements the Cluster-Booster Protocol of the DEEP
+// architecture: the framing, credit-based flow control and
+// store-and-forward gateway logic that the Booster Interface (BI)
+// nodes run on top of the EXTOLL SMFU engine to bridge the InfiniBand
+// cluster fabric and the EXTOLL booster fabric (paper slides 10, 16,
+// 29).
+package cbp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// FrameType labels protocol frames.
+type FrameType uint8
+
+// Protocol frame types.
+const (
+	// FrameData carries application payload across the bridge.
+	FrameData FrameType = iota + 1
+	// FrameCredit returns receive credits to the sender.
+	FrameCredit
+	// FrameAck acknowledges delivery for end-to-end reliability.
+	FrameAck
+	// FrameControl carries connection setup/teardown.
+	FrameControl
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameCredit:
+		return "credit"
+	case FrameAck:
+		return "ack"
+	case FrameControl:
+		return "control"
+	default:
+		return fmt.Sprintf("frame-type-%d", uint8(t))
+	}
+}
+
+// Frame is one Cluster-Booster Protocol unit. Src and Dst are global
+// node identifiers (cluster nodes and booster nodes share one
+// namespace at the protocol level; the gateway translates to
+// fabric-local addresses).
+type Frame struct {
+	Type    FrameType
+	Flags   uint8
+	Seq     uint32
+	Src     uint32
+	Dst     uint32
+	Payload []byte
+}
+
+// Wire layout: magic(2) version(1) type(1) flags(1) pad(1) seq(4)
+// src(4) dst(4) len(4) crc(4) payload(len).
+const (
+	frameMagic   = 0xDEEB
+	frameVersion = 1
+	headerBytes  = 26
+)
+
+// MaxPayload bounds one frame's payload, matching the SMFU segment
+// size.
+const MaxPayload = 1 << 16
+
+// Errors returned by Decode.
+var (
+	ErrShortFrame  = errors.New("cbp: buffer shorter than header")
+	ErrBadMagic    = errors.New("cbp: bad frame magic")
+	ErrBadVersion  = errors.New("cbp: unsupported protocol version")
+	ErrBadChecksum = errors.New("cbp: checksum mismatch")
+	ErrBadLength   = errors.New("cbp: payload length out of bounds")
+)
+
+// Encode serialises the frame. The CRC32 covers header fields and the
+// payload, mirroring the CRC protection EXTOLL applies at the link
+// level.
+func (f *Frame) Encode() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBadLength, len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, headerBytes+len(f.Payload))
+	binary.BigEndian.PutUint16(buf[0:], frameMagic)
+	buf[2] = frameVersion
+	buf[3] = uint8(f.Type)
+	buf[4] = f.Flags
+	buf[5] = 0
+	binary.BigEndian.PutUint32(buf[6:], f.Seq)
+	binary.BigEndian.PutUint32(buf[10:], f.Src)
+	binary.BigEndian.PutUint32(buf[14:], f.Dst)
+	binary.BigEndian.PutUint32(buf[18:], uint32(len(f.Payload)))
+	copy(buf[headerBytes:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[:22])
+	crc = crc32.Update(crc, crc32.IEEETable, f.Payload)
+	binary.BigEndian.PutUint32(buf[22:], crc)
+	return buf, nil
+}
+
+// Decode parses one frame from buf, returning the frame and the number
+// of bytes consumed.
+func Decode(buf []byte) (*Frame, int, error) {
+	if len(buf) < headerBytes {
+		return nil, 0, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != frameMagic {
+		return nil, 0, ErrBadMagic
+	}
+	if buf[2] != frameVersion {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	plen := binary.BigEndian.Uint32(buf[18:])
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadLength, plen)
+	}
+	total := headerBytes + int(plen)
+	if len(buf) < total {
+		return nil, 0, ErrShortFrame
+	}
+	wantCRC := binary.BigEndian.Uint32(buf[22:])
+	crc := crc32.ChecksumIEEE(buf[:22])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[headerBytes:total])
+	if crc != wantCRC {
+		return nil, 0, ErrBadChecksum
+	}
+	f := &Frame{
+		Type:    FrameType(buf[3]),
+		Flags:   buf[4],
+		Seq:     binary.BigEndian.Uint32(buf[6:]),
+		Src:     binary.BigEndian.Uint32(buf[10:]),
+		Dst:     binary.BigEndian.Uint32(buf[14:]),
+		Payload: append([]byte(nil), buf[headerBytes:total]...),
+	}
+	return f, total, nil
+}
+
+// Fragment splits payload into MaxPayload-sized data frames sharing
+// src/dst, with consecutive sequence numbers starting at seq0. An empty
+// payload yields one empty frame.
+func Fragment(src, dst uint32, seq0 uint32, payload []byte) []*Frame {
+	if len(payload) == 0 {
+		return []*Frame{{Type: FrameData, Seq: seq0, Src: src, Dst: dst}}
+	}
+	var frames []*Frame
+	for off := 0; off < len(payload); off += MaxPayload {
+		end := off + MaxPayload
+		if end > len(payload) {
+			end = len(payload)
+		}
+		frames = append(frames, &Frame{
+			Type: FrameData, Seq: seq0 + uint32(len(frames)),
+			Src: src, Dst: dst,
+			Payload: payload[off:end],
+		})
+	}
+	return frames
+}
+
+// Reassemble concatenates data-frame payloads in sequence order,
+// verifying the sequence numbers are consecutive.
+func Reassemble(frames []*Frame) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("cbp: no frames to reassemble")
+	}
+	var out []byte
+	for i, f := range frames {
+		if f.Type != FrameData {
+			return nil, fmt.Errorf("cbp: frame %d is %v, not data", i, f.Type)
+		}
+		if f.Seq != frames[0].Seq+uint32(i) {
+			return nil, fmt.Errorf("cbp: sequence gap at frame %d (%d)", i, f.Seq)
+		}
+		out = append(out, f.Payload...)
+	}
+	return out, nil
+}

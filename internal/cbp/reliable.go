@@ -1,0 +1,207 @@
+package cbp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Reliable end-to-end transfer over lossy wires: the Cluster-Booster
+// Protocol's connection layer. EXTOLL's link-level retransmission
+// (modelled in internal/fabric) recovers per-hop corruption, but the
+// Booster Interface still needs end-to-end ordering and delivery across
+// the bridge; this file implements it as go-back-N with cumulative
+// ACKs, NACK-based fast recovery and a retransmission timer.
+
+// FlagLast marks the final frame of a message.
+const FlagLast = 1
+
+// Wire is one direction of an unreliable, ordered datagram channel
+// (frames may be dropped or corrupted, never reordered — the property
+// the underlying fabric provides).
+type Wire struct {
+	ch      chan []byte
+	mangler func(attempt int, buf []byte) []byte
+	sends   int
+}
+
+// NewWire returns a wire with the given buffering. mangler, when
+// non-nil, may drop (return nil) or corrupt each transmission; it
+// receives the global send ordinal.
+func NewWire(buffer int, mangler func(attempt int, buf []byte) []byte) *Wire {
+	return &Wire{ch: make(chan []byte, buffer), mangler: mangler}
+}
+
+// Send transmits one datagram (possibly dropping/corrupting it).
+func (w *Wire) Send(buf []byte) {
+	w.sends++
+	out := append([]byte(nil), buf...)
+	if w.mangler != nil {
+		out = w.mangler(w.sends, out)
+		if out == nil {
+			return // dropped
+		}
+	}
+	w.ch <- out
+}
+
+// Recv blocks for the next datagram; ok is false after Close drains.
+func (w *Wire) Recv() (buf []byte, ok bool) {
+	b, ok := <-w.ch
+	return b, ok
+}
+
+// recvTimeout waits up to d for a datagram.
+func (w *Wire) recvTimeout(d time.Duration) (buf []byte, ok, timedOut bool) {
+	select {
+	case b, ok := <-w.ch:
+		return b, ok, false
+	case <-time.After(d):
+		return nil, true, true
+	}
+}
+
+// Close ends the wire; pending datagrams remain readable.
+func (w *Wire) Close() { close(w.ch) }
+
+// Sends returns how many datagrams were offered to the wire.
+func (w *Wire) Sends() int { return w.sends }
+
+// ReliableConfig tunes the transfer.
+type ReliableConfig struct {
+	// Window is the go-back-N window (frames in flight).
+	Window int
+	// Timeout is the retransmission timer.
+	Timeout time.Duration
+	// MaxResends bounds total retransmission rounds before giving up.
+	MaxResends int
+}
+
+// DefaultReliableConfig returns a small window and a short timer,
+// suitable for in-memory tests and simulations.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{Window: 8, Timeout: 2 * time.Millisecond, MaxResends: 1000}
+}
+
+// ErrGiveUp is returned when the resend budget is exhausted.
+var ErrGiveUp = errors.New("cbp: reliable transfer exceeded resend budget")
+
+// SendReliable transfers msg over the data wire, reading ACK/NACK
+// control frames from ackRx, using go-back-N. It returns the number of
+// data-frame transmissions (including retransmissions).
+func SendReliable(data *Wire, ackRx *Wire, src, dst uint32, msg []byte, cfg ReliableConfig) (int, error) {
+	if cfg.Window < 1 {
+		return 0, fmt.Errorf("cbp: window %d", cfg.Window)
+	}
+	frames := Fragment(src, dst, 0, msg)
+	frames[len(frames)-1].Flags |= FlagLast
+	encoded := make([][]byte, len(frames))
+	for i, f := range frames {
+		buf, err := f.Encode()
+		if err != nil {
+			return 0, err
+		}
+		encoded[i] = buf
+	}
+	n := len(frames)
+	base, next := 0, 0
+	sends, resends := 0, 0
+	for base < n {
+		for next < base+cfg.Window && next < n {
+			data.Send(encoded[next])
+			sends++
+			next++
+		}
+		buf, ok, timedOut := ackRx.recvTimeout(cfg.Timeout)
+		if !ok {
+			return sends, errors.New("cbp: ack wire closed mid-transfer")
+		}
+		if timedOut {
+			resends++
+			if resends > cfg.MaxResends {
+				return sends, ErrGiveUp
+			}
+			next = base // go-back-N
+			continue
+		}
+		ctl, _, err := Decode(buf)
+		if err != nil {
+			continue // corrupted control frame; timer will recover
+		}
+		switch ctl.Type {
+		case FrameAck:
+			if int(ctl.Seq) >= base {
+				base = int(ctl.Seq) + 1
+			}
+		case FrameControl: // NACK carrying the next expected sequence
+			resends++
+			if resends > cfg.MaxResends {
+				return sends, ErrGiveUp
+			}
+			if int(ctl.Seq) > base {
+				base = int(ctl.Seq)
+			}
+			next = base
+		}
+	}
+	return sends, nil
+}
+
+// RecvReliable receives one message from the data wire, emitting
+// cumulative ACKs (and NACKs on gaps) on ackTx. It returns the
+// reassembled payload.
+func RecvReliable(data *Wire, ackTx *Wire) ([]byte, error) {
+	var out []byte
+	expected := uint32(0)
+	for {
+		buf, ok := data.Recv()
+		if !ok {
+			return nil, errors.New("cbp: data wire closed mid-message")
+		}
+		f, _, err := Decode(buf)
+		if err != nil {
+			// Corrupted frame: CRC caught it; request the expected one.
+			sendCtl(ackTx, FrameControl, expected)
+			continue
+		}
+		switch {
+		case f.Seq == expected:
+			out = append(out, f.Payload...)
+			sendCtl(ackTx, FrameAck, expected)
+			expected++
+			if f.Flags&FlagLast != 0 {
+				// The final ACK may be lost; linger in the background,
+				// re-ACKing any retransmitted tail frames until the
+				// data wire is closed, so the sender can terminate
+				// (the classic reliable-transfer tail case).
+				go linger(data, ackTx, expected)
+				return out, nil
+			}
+		case f.Seq < expected:
+			// Duplicate from a resend round: re-ACK cumulatively.
+			sendCtl(ackTx, FrameAck, expected-1)
+		default:
+			// Gap: NACK the frame we need.
+			sendCtl(ackTx, FrameControl, expected)
+		}
+	}
+}
+
+// linger keeps acknowledging duplicate tail frames after delivery.
+func linger(data *Wire, ackTx *Wire, expected uint32) {
+	for {
+		if _, ok := data.Recv(); !ok {
+			return
+		}
+		sendCtl(ackTx, FrameAck, expected-1)
+	}
+}
+
+func sendCtl(w *Wire, t FrameType, seq uint32) {
+	f := &Frame{Type: t, Seq: seq}
+	buf, err := f.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("cbp: control frame encode: %v", err))
+	}
+	w.Send(buf)
+}

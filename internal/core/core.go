@@ -1,0 +1,125 @@
+// Package core composes the substrates into the paper's primary
+// contribution: the DEEP Cluster-Booster system. It wires the
+// InfiniBand cluster fabric, the EXTOLL booster torus and the
+// Booster Interface into one Global-MPI world, starts the
+// application's main() part on Cluster ranks, and exposes the offload
+// path (CommSpawn + kernel shipping) and the OmpSs task runtime —
+// the full software architecture of paper slides 19-31.
+//
+// A minimal session:
+//
+//	cfg := core.Config{ClusterRanks: 4, ClusterNodes: 16, BoosterNodes: 64,
+//	    BoosterWorkers: 8, Registry: myKernels}
+//	makespan, err := core.Run(cfg, func(d *core.Deep) error {
+//	    out, err := d.Boost.Invoke(offload.Request{Kernel: "hscp", Data: data})
+//	    ...
+//	})
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cbp"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/offload"
+	"repro/internal/sim"
+)
+
+// Config describes a DEEP system instance.
+type Config struct {
+	// ClusterRanks is the number of application (main-part) processes.
+	ClusterRanks int
+	// ClusterNodes and BoosterNodes size the modelled machine.
+	ClusterNodes int
+	BoosterNodes int
+	// BoosterWorkers, when positive, spawns an offload worker group of
+	// that size during startup (collectively), exposed as Deep.Boost.
+	BoosterWorkers int
+	// Registry provides the kernels the booster workers can run.
+	// Required when BoosterWorkers > 0.
+	Registry offload.Registry
+	// ModelCompute charges booster kernels the KNC node-model time,
+	// so virtual clocks reflect computation as well as communication.
+	ModelCompute bool
+	// Spawn overrides the default process-startup cost model when
+	// non-nil.
+	Spawn *mpi.SpawnConfig
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.ClusterRanks < 1 {
+		return fmt.Errorf("core: %d cluster ranks", c.ClusterRanks)
+	}
+	if c.ClusterNodes < 1 || c.BoosterNodes < 1 {
+		return fmt.Errorf("core: machine %d/%d nodes", c.ClusterNodes, c.BoosterNodes)
+	}
+	if c.BoosterWorkers > 0 && c.Registry == nil {
+		return fmt.Errorf("core: booster workers requested without a kernel registry")
+	}
+	if c.BoosterWorkers > c.BoosterNodes {
+		return fmt.Errorf("core: %d workers exceed %d booster nodes", c.BoosterWorkers, c.BoosterNodes)
+	}
+	return nil
+}
+
+// Deep is the per-rank handle an application receives: its Global-MPI
+// communicator over the modelled DEEP machine, and (when configured)
+// the offload manager fronting the booster worker group.
+type Deep struct {
+	// Comm is the cluster-side world communicator (the application's
+	// main()-part processes).
+	Comm *mpi.Comm
+	// Boost fronts the spawned booster group; nil when
+	// Config.BoosterWorkers == 0.
+	Boost *offload.Manager
+	// Transport exposes the machine cost model (topologies, gateway).
+	Transport *cbp.DeepTransport
+}
+
+// App is the application entry point, executed by every cluster rank.
+type App func(d *Deep) error
+
+// Run builds the DEEP world, starts the cluster ranks, optionally
+// spawns the booster worker group, executes app on every rank, shuts
+// the offload group down, and returns the modelled makespan.
+func Run(cfg Config, app App) (sim.Time, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	tr := cbp.NewDeepTransport(cfg.ClusterNodes, cfg.BoosterNodes)
+	world := mpi.NewWorld(tr, mpi.WithPlacement(func(ep int) int {
+		// Initial endpoints are cluster ranks, spread over cluster
+		// nodes; spawned endpoints get explicit booster placement.
+		return ep % cfg.ClusterNodes
+	}))
+	return world.Run(cfg.ClusterRanks, func(c *mpi.Comm) error {
+		d := &Deep{Comm: c, Transport: tr}
+		if cfg.BoosterWorkers > 0 {
+			spawn := mpi.DefaultSpawnConfig()
+			if cfg.Spawn != nil {
+				spawn = *cfg.Spawn
+			}
+			if spawn.Place == nil {
+				spawn.Place = tr.BoosterNode
+			}
+			ocfg := offload.Config{Workers: cfg.BoosterWorkers, Spawn: spawn}
+			if cfg.ModelCompute {
+				knc := machine.KNC
+				ocfg.Model = &knc
+			}
+			d.Boost = offload.NewManager(c, ocfg, cfg.Registry)
+		}
+		appErr := app(d)
+		if d.Boost != nil {
+			// Quiesce before stopping the workers so in-flight
+			// invocations from other ranks have completed.
+			c.Barrier()
+			if c.Rank() == 0 {
+				d.Boost.Shutdown()
+			}
+		}
+		return appErr
+	})
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/offload"
+	"repro/internal/sim"
+)
+
+func scaleRegistry() offload.Registry {
+	return offload.Registry{
+		"scale": func(rank, size int, req offload.Request) ([]float64, error) {
+			lo, hi := offload.ShardRange(len(req.Data), rank, size)
+			out := make([]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				out[i-lo] = req.Data[i] * float64(req.Params[0])
+			}
+			return out, nil
+		},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ClusterRanks: 0, ClusterNodes: 1, BoosterNodes: 1},
+		{ClusterRanks: 1, ClusterNodes: 0, BoosterNodes: 1},
+		{ClusterRanks: 1, ClusterNodes: 1, BoosterNodes: 1, BoosterWorkers: 1},
+		{ClusterRanks: 1, ClusterNodes: 1, BoosterNodes: 1, BoosterWorkers: 2,
+			Registry: offload.Registry{}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := Config{ClusterRanks: 2, ClusterNodes: 4, BoosterNodes: 8,
+		BoosterWorkers: 4, Registry: scaleRegistry()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithoutBooster(t *testing.T) {
+	ran := make([]bool, 3)
+	makespan, err := Run(Config{ClusterRanks: 3, ClusterNodes: 4, BoosterNodes: 4},
+		func(d *Deep) error {
+			if d.Boost != nil {
+				return fmt.Errorf("unexpected booster manager")
+			}
+			sum := d.Comm.Allreduce([]float64{1}, mpi.OpSum)
+			if sum[0] != 3 {
+				return fmt.Errorf("allreduce %v", sum)
+			}
+			ran[d.Comm.Rank()] = true
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range ran {
+		if !ok {
+			t.Fatalf("rank %d did not run", r)
+		}
+	}
+	if makespan <= 0 {
+		t.Fatalf("makespan %v", makespan)
+	}
+}
+
+func TestRunWithOffload(t *testing.T) {
+	makespan, err := Run(Config{
+		ClusterRanks: 2, ClusterNodes: 8, BoosterNodes: 16,
+		BoosterWorkers: 4, Registry: scaleRegistry(), ModelCompute: true,
+	}, func(d *Deep) error {
+		data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		out, err := d.Boost.Invoke(offload.Request{
+			Kernel: "scale", Params: []int{10}, Data: data,
+			FlopsPerRank: 1e6,
+		})
+		if err != nil {
+			return err
+		}
+		for i, v := range out {
+			if v != data[i]*10 {
+				return fmt.Errorf("out[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spawn cost alone is ~2ms base + 4x0.5ms.
+	if makespan < 2*sim.Millisecond {
+		t.Fatalf("makespan %v implausibly small", makespan)
+	}
+}
+
+func TestRunPropagatesAppError(t *testing.T) {
+	_, err := Run(Config{ClusterRanks: 2, ClusterNodes: 2, BoosterNodes: 2},
+		func(d *Deep) error {
+			if d.Comm.Rank() == 1 {
+				return fmt.Errorf("app failure")
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}, func(*Deep) error { return nil }); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestTransportExposed(t *testing.T) {
+	_, err := Run(Config{ClusterRanks: 1, ClusterNodes: 4, BoosterNodes: 8},
+		func(d *Deep) error {
+			if d.Transport == nil {
+				return fmt.Errorf("no transport")
+			}
+			if d.Transport.ClusterNodes() < 4 {
+				return fmt.Errorf("cluster nodes %d", d.Transport.ClusterNodes())
+			}
+			if !d.Transport.IsBooster(d.Transport.BoosterNode(0)) {
+				return fmt.Errorf("booster node mapping broken")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

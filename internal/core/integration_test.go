@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/offload"
+	"repro/internal/resource"
+)
+
+// TestIntegrationSpMVOffload runs the full stack end to end: a DEEP
+// system is built, the cluster ships a CSR SpMV kernel plus its data
+// to a spawned booster group, each worker multiplies its row shard,
+// and the gathered result is verified against the sequential product.
+func TestIntegrationSpMVOffload(t *testing.T) {
+	const n = 64
+	lap := linalg.Laplacian1D(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) / 3
+	}
+	want := make([]float64, n)
+	lap.MulVec(x, want)
+
+	registry := offload.Registry{
+		// spmv1d rebuilds the deterministic operator locally (only the
+		// vector travels) and multiplies its row shard — the
+		// ship-code-not-data pattern DEEP uses for static operators.
+		"spmv1d": func(rank, size int, req offload.Request) ([]float64, error) {
+			dim := req.Params[0]
+			m := linalg.Laplacian1D(dim)
+			lo, hi := offload.ShardRange(dim, rank, size)
+			slice := m.RowSlice(lo, hi)
+			out := make([]float64, hi-lo)
+			slice.MulVec(req.Data, out)
+			return out, nil
+		},
+	}
+
+	_, err := Run(Config{
+		ClusterRanks: 2, ClusterNodes: 4, BoosterNodes: 8,
+		BoosterWorkers: 4, Registry: registry, ModelCompute: true,
+	}, func(d *Deep) error {
+		if d.Comm.Rank() != 0 {
+			return nil
+		}
+		got, err := d.Boost.Invoke(offload.Request{
+			Kernel: "spmv1d", Params: []int{n}, Data: x,
+			FlopsPerRank: float64(lap.NNZ()) / 2,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return fmt.Errorf("y[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationResourceGuidedPlacement allocates booster nodes from
+// a ParaStation-style pool and pins the spawned workers onto exactly
+// those nodes — the RM/offload wiring of the real system.
+func TestIntegrationResourceGuidedPlacement(t *testing.T) {
+	pool := resource.NewPool(16)
+	ids, err := pool.Alloc(4, resource.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := offload.Registry{
+		"noop": func(rank, size int, req offload.Request) ([]float64, error) {
+			return []float64{float64(rank)}, nil
+		},
+	}
+	spawn := mpi.DefaultSpawnConfig()
+	placed := make([]int, 0, 4)
+	spawn.Place = func(child int) int {
+		node := 100 + ids[child] // transport node ids of the allocation
+		placed = append(placed, node)
+		return node
+	}
+	_, err = Run(Config{
+		ClusterRanks: 1, ClusterNodes: 4, BoosterNodes: 16,
+		BoosterWorkers: 4, Registry: registry, Spawn: &spawn,
+	}, func(d *Deep) error {
+		out, err := d.Boost.Invoke(offload.Request{Kernel: "noop"})
+		if err != nil {
+			return err
+		}
+		if len(out) != 4 {
+			return fmt.Errorf("workers = %d", len(out))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 4 {
+		t.Fatalf("placement callback ran %d times", len(placed))
+	}
+	for i, node := range placed {
+		if node != 100+ids[i] {
+			t.Fatalf("worker %d placed on %d, want %d", i, node, 100+ids[i])
+		}
+	}
+	pool.Release(ids)
+	if pool.Free() != 16 {
+		t.Fatal("pool leaked")
+	}
+}
+
+// TestIntegrationTwoManagers runs two independent booster groups from
+// one cluster (the paper's dynamic partitioning of the Booster among
+// applications).
+func TestIntegrationTwoManagers(t *testing.T) {
+	registry := offload.Registry{
+		"id": func(rank, size int, req offload.Request) ([]float64, error) {
+			lo, hi := offload.ShardRange(len(req.Data), rank, size)
+			return append([]float64(nil), req.Data[lo:hi]...), nil
+		},
+	}
+	w := mpi.NewWorld(mpi.ZeroTransport{})
+	_, err := w.Run(1, func(c *mpi.Comm) error {
+		m1 := offload.NewManager(c, offload.Config{Workers: 2, Spawn: mpi.DefaultSpawnConfig()}, registry)
+		m2 := offload.NewManager(c, offload.Config{Workers: 3, Spawn: mpi.DefaultSpawnConfig()}, registry)
+		defer m1.Shutdown()
+		defer m2.Shutdown()
+		data := []float64{1, 2, 3, 4, 5, 6}
+		for _, m := range []*offload.Manager{m1, m2} {
+			out, err := m.Invoke(offload.Request{Kernel: "id", Data: data})
+			if err != nil {
+				return err
+			}
+			for i := range data {
+				if out[i] != data[i] {
+					return fmt.Errorf("group of %d: out[%d] = %v", m.Workers(), i, out[i])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package energy accounts for the electrical energy of simulated runs.
+// It integrates per-node power over utilisation phases, yielding the
+// joules and GFlop/W figures used by the energy-positioning experiment
+// (the paper cites Xeon Phi at 5 GFlop/W and motivates the whole
+// project with the ~100 MW exascale power wall).
+package energy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Meter accumulates energy for a set of node groups.
+type Meter struct {
+	groups map[string]*Group
+}
+
+// Group tracks one homogeneous set of nodes.
+type Group struct {
+	Model machine.NodeModel
+	Count int
+
+	joules float64
+	flops  float64
+	busy   sim.Time
+	total  sim.Time
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{groups: make(map[string]*Group)} }
+
+// AddGroup registers count nodes of the given model under name.
+// Re-adding an existing name replaces the model and count but keeps
+// accumulated energy, so configurations must be fixed before phases are
+// recorded; callers should treat that as a programming error.
+func (m *Meter) AddGroup(name string, model machine.NodeModel, count int) *Group {
+	g, ok := m.groups[name]
+	if !ok {
+		g = &Group{}
+		m.groups[name] = g
+	}
+	g.Model = model
+	g.Count = count
+	return g
+}
+
+// Group returns the named group, or nil.
+func (m *Meter) Group(name string) *Group { return m.groups[name] }
+
+// Phase records that the named group spent d at the given utilisation,
+// performing flops useful floating-point operations (may be zero for
+// idle or communication phases). It panics on unknown group names —
+// misattributed energy is a harness bug worth failing loudly on.
+func (m *Meter) Phase(name string, d sim.Time, utilisation, flops float64) {
+	g, ok := m.groups[name]
+	if !ok {
+		panic(fmt.Sprintf("energy: unknown group %q", name))
+	}
+	if d < 0 {
+		panic("energy: negative phase duration")
+	}
+	watts := g.Model.Power(utilisation) * float64(g.Count)
+	g.joules += watts * d.Seconds()
+	g.flops += flops
+	g.total += d
+	if utilisation > 0 {
+		g.busy += d
+	}
+}
+
+// Joules returns the total energy across all groups.
+func (m *Meter) Joules() float64 {
+	sum := 0.0
+	for _, g := range m.groups {
+		sum += g.joules
+	}
+	return sum
+}
+
+// Flops returns total useful flops across all groups.
+func (m *Meter) Flops() float64 {
+	sum := 0.0
+	for _, g := range m.groups {
+		sum += g.flops
+	}
+	return sum
+}
+
+// GFlopsPerWatt returns achieved GFlop/J (== GFlop/s per W) over the
+// recorded phases. Zero if no energy was recorded.
+func (m *Meter) GFlopsPerWatt() float64 {
+	j := m.Joules()
+	if j == 0 {
+		return 0
+	}
+	return m.Flops() / j / 1e9
+}
+
+// GroupNames returns the registered group names, sorted.
+func (m *Meter) GroupNames() []string {
+	names := make([]string, 0, len(m.groups))
+	for n := range m.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GroupJoules returns one group's accumulated energy.
+func (g *Group) GroupJoules() float64 { return g.joules }
+
+// GroupFlops returns one group's accumulated flops.
+func (g *Group) GroupFlops() float64 { return g.flops }
+
+// BusyFraction returns busy time / total recorded time for the group.
+func (g *Group) BusyFraction() float64 {
+	if g.total == 0 {
+		return 0
+	}
+	return float64(g.busy) / float64(g.total)
+}

@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestMeterBasics(t *testing.T) {
+	m := NewMeter()
+	m.AddGroup("cluster", machine.Xeon, 2)
+	m.Phase("cluster", 10*sim.Second, 1.0, 1e12)
+	wantJ := machine.Xeon.PeakWatts * 2 * 10
+	if got := m.Joules(); math.Abs(got-wantJ) > 1e-6*wantJ {
+		t.Fatalf("joules = %v, want %v", got, wantJ)
+	}
+	if got := m.Flops(); got != 1e12 {
+		t.Fatalf("flops = %v", got)
+	}
+	want := 1e12 / wantJ / 1e9
+	if got := m.GFlopsPerWatt(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("GFlop/W = %v, want %v", got, want)
+	}
+}
+
+func TestIdlePhaseBurnsEnergyWithoutFlops(t *testing.T) {
+	m := NewMeter()
+	m.AddGroup("booster", machine.KNC, 4)
+	m.Phase("booster", 5*sim.Second, 0, 0)
+	wantJ := machine.KNC.IdleWatts * 4 * 5
+	if got := m.Joules(); math.Abs(got-wantJ) > 1e-9*wantJ {
+		t.Fatalf("idle joules = %v, want %v", got, wantJ)
+	}
+	if m.GFlopsPerWatt() != 0 {
+		t.Fatal("efficiency should be zero with zero flops")
+	}
+	g := m.Group("booster")
+	if g.BusyFraction() != 0 {
+		t.Fatalf("busy fraction %v", g.BusyFraction())
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	m := NewMeter()
+	g := m.AddGroup("x", machine.Xeon, 1)
+	m.Phase("x", 3*sim.Second, 1, 1)
+	m.Phase("x", 1*sim.Second, 0, 0)
+	if got := g.BusyFraction(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("busy fraction %v, want 0.75", got)
+	}
+}
+
+func TestUnknownGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown group")
+		}
+	}()
+	NewMeter().Phase("nope", sim.Second, 1, 0)
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	m := NewMeter()
+	m.AddGroup("g", machine.Xeon, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative duration")
+		}
+	}()
+	m.Phase("g", -sim.Second, 1, 0)
+}
+
+func TestGroupNamesSorted(t *testing.T) {
+	m := NewMeter()
+	m.AddGroup("zeta", machine.Xeon, 1)
+	m.AddGroup("alpha", machine.KNC, 1)
+	names := m.GroupNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestBoosterBeatsClusterEfficiency(t *testing.T) {
+	// Same work on each platform at peak: the booster meter must report
+	// higher GFlop/W — the claim the energy experiment reproduces.
+	work := 1e13
+	cluster := NewMeter()
+	cluster.AddGroup("c", machine.Xeon, 1)
+	tc := work / (machine.Xeon.PeakGFlops * 1e9)
+	cluster.Phase("c", sim.FromSeconds(tc), 1, work)
+
+	booster := NewMeter()
+	booster.AddGroup("b", machine.KNC, 1)
+	tb := work / (machine.KNC.PeakGFlops * 1e9)
+	booster.Phase("b", sim.FromSeconds(tb), 1, work)
+
+	if booster.GFlopsPerWatt() <= cluster.GFlopsPerWatt() {
+		t.Fatalf("booster %.2f <= cluster %.2f GFlop/W",
+			booster.GFlopsPerWatt(), cluster.GFlopsPerWatt())
+	}
+}

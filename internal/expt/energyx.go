@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E11: energy positioning (paper slide 15: Xeon Phi "energy
+// efficient: 5 GFlop/W"; slide 3: the exascale power wall). A mixed
+// workload — a large vectorisable kernel plus a scalar control part —
+// runs on three machines: cluster-only, booster-only, and DEEP with
+// the kernel offloaded. We integrate node power over the phases.
+func runE11() *stats.Table {
+	const (
+		kernelFlops = 4e13 // highly scalable code part
+		scalarFlops = 2e10 // main() control flow
+		nodes       = 16
+	)
+	xeon, knc := machine.Xeon, machine.KNC
+
+	kernelOn := func(m machine.NodeModel, veff float64) sim.Time {
+		return m.Time(machine.Kernel{
+			Flops: kernelFlops / nodes, ParallelFraction: 1, VectorEfficiency: veff,
+		}, m.Cores)
+	}
+	scalarOn := func(m machine.NodeModel) sim.Time {
+		return m.Time(machine.Kernel{Flops: scalarFlops, ParallelFraction: 0}, 1)
+	}
+
+	tab := stats.NewTable(
+		"E11 Energy: cluster-only vs booster-only vs DEEP offload",
+		"config", "time_s", "energy_kJ", "GFlop/W", "vs_cluster")
+	var clusterGF float64
+
+	// Cluster-only: both phases on Xeon nodes.
+	{
+		m := energy.NewMeter()
+		m.AddGroup("cluster", xeon, nodes)
+		tk := kernelOn(xeon, 1)
+		ts := scalarOn(xeon)
+		m.Phase("cluster", tk, 1, kernelFlops)
+		m.Phase("cluster", ts, 1.0/float64(xeon.Cores), scalarFlops)
+		clusterGF = m.GFlopsPerWatt()
+		tab.AddRow("cluster-only", (tk + ts).Seconds(), m.Joules()/1e3, clusterGF, 1.0)
+	}
+	// Booster-only: kernel fast, scalar part crawls on a 1 GHz
+	// in-order core while all nodes burn idle power.
+	{
+		m := energy.NewMeter()
+		m.AddGroup("booster", knc, nodes)
+		tk := kernelOn(knc, 0.9)
+		ts := scalarOn(knc)
+		m.Phase("booster", tk, 1, kernelFlops)
+		m.Phase("booster", ts, 1.0/float64(knc.Cores), scalarFlops)
+		g := m.GFlopsPerWatt()
+		tab.AddRow("booster-only", (tk + ts).Seconds(), m.Joules()/1e3, g, g/clusterGF)
+	}
+	// DEEP: scalar part on 2 cluster nodes, kernel on 14 booster
+	// nodes; idle side draws idle power.
+	{
+		m := energy.NewMeter()
+		const cn, bn = 2, 14
+		m.AddGroup("cluster", xeon, cn)
+		m.AddGroup("booster", knc, bn)
+		tk := knc.Time(machine.Kernel{
+			Flops: kernelFlops / bn, ParallelFraction: 1, VectorEfficiency: 0.9,
+		}, knc.Cores)
+		ts := scalarOn(xeon)
+		// Kernel phase: boosters busy, cluster idles.
+		m.Phase("booster", tk, 1, kernelFlops)
+		m.Phase("cluster", tk, 0, 0)
+		// Scalar phase: cluster busy (one core), boosters idle.
+		m.Phase("cluster", ts, 1.0/float64(xeon.Cores), scalarFlops)
+		m.Phase("booster", ts, 0, 0)
+		g := m.GFlopsPerWatt()
+		tab.AddRow("deep", (tk + ts).Seconds(), m.Joules()/1e3, g, g/clusterGF)
+	}
+	tab.AddNote("mixed workload: 40 TFlop vector kernel + 20 GFlop scalar control part, 16 nodes")
+	tab.AddNote("expected shape: booster-only wastes energy on the scalar part; DEEP beats cluster-only clearly")
+	return tab
+}
+
+func init() {
+	register(Experiment{
+		ID:       "E11",
+		Title:    "Energy efficiency of cluster / booster / DEEP",
+		PaperRef: "slides 3, 15",
+		Run:      runE11,
+	})
+}

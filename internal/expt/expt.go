@@ -1,0 +1,62 @@
+// Package expt is the experiment harness of the reproduction: one
+// generator per paper figure/claim, each producing a printable table
+// with the same rows/series the paper's argument rests on. The
+// cmd/deepbench binary and the top-level benchmarks drive this
+// registry; EXPERIMENTS.md records paper-vs-measured for every entry.
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Experiment is one reproducible figure.
+type Experiment struct {
+	// ID is the experiment identifier (E01..E12).
+	ID string
+	// Title is a short description.
+	Title string
+	// PaperRef points at the slide/figure of the paper being
+	// reproduced.
+	PaperRef string
+	// Run generates the table. Runs are deterministic.
+	Run func() *stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs panic at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("expt: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

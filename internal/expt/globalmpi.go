@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cbp"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E05: collective spawn of highly scalable code parts (paper slides
+// 21, 26-27): MPI_Comm_spawn is the startup mechanism for booster
+// code parts. We measure the modelled spawn-to-ready latency versus
+// the number of spawned booster processes.
+func spawnLatency(n int) sim.Time {
+	tr := cbp.NewDeepTransport(16, 256)
+	w := mpi.NewWorld(tr)
+	var rootTime sim.Time
+	_, err := w.Run(4, func(c *mpi.Comm) error {
+		cfg := mpi.DefaultSpawnConfig()
+		cfg.Place = tr.BoosterNode
+		inter := c.Spawn(n, cfg, func(child *mpi.Comm) error {
+			// Every child reports readiness to parent rank 0.
+			child.Parent().Send(0, 1, nil)
+			return nil
+		})
+		if c.Rank() == 0 {
+			// Receive in rank order so the virtual-clock evolution is
+			// independent of goroutine scheduling (determinism).
+			for i := 0; i < n; i++ {
+				inter.Recv(i, 1)
+			}
+			rootTime = c.Time()
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("expt: spawn run failed: %v", err))
+	}
+	return rootTime
+}
+
+func runE05() *stats.Table {
+	tab := stats.NewTable(
+		"E05 MPI_Comm_spawn startup latency vs booster processes",
+		"procs", "spawn_ms", "ms_per_proc")
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		t := spawnLatency(n)
+		ms := float64(t) / float64(sim.Millisecond)
+		tab.AddRow(n, ms, ms/float64(n))
+	}
+	tab.AddNote("spawn is a collective of the cluster processes; cost = RM base + per-process startup + wire-up")
+	tab.AddNote("expected shape: near-linear growth with process count, amortised per-process cost flattening")
+	return tab
+}
+
+// E07: Global MPI over the Booster Interface (slides 24-29): the price
+// of talking across the bridge versus staying inside one fabric, and
+// an intercommunicator round trip as used by the offload layer.
+func runE07() *stats.Table {
+	tr := cbp.NewDeepTransport(64, 64)
+	tab := stats.NewTable(
+		"E07 Global MPI: intra-fabric vs cross-gateway communication",
+		"bytes", "cluster_us", "booster_us", "cross_us", "cross_penalty")
+	for _, size := range []int{64, 4 << 10, 64 << 10, 1 << 20, 16 << 20} {
+		intraC := tr.Cost(1, 2, size) + tr.SendOverhead() + tr.RecvOverhead()
+		intraB := tr.Cost(tr.BoosterNode(1), tr.BoosterNode(2), size) +
+			tr.SendOverhead() + tr.RecvOverhead()
+		cross := tr.Cost(1, tr.BoosterNode(2), size) +
+			tr.SendOverhead() + tr.RecvOverhead()
+		penalty := float64(cross) / float64(intraB)
+		tab.AddRow(size, intraC.Micros(), intraB.Micros(), cross.Micros(), penalty)
+	}
+	tab.AddNote("cross-gateway pays both fabrics plus SMFU store-and-forward")
+	tab.AddNote("expected shape: crossing costs 2-4x intra-fabric; penalty shrinks as bandwidth dominates")
+	return tab
+}
+
+func init() {
+	register(Experiment{
+		ID:       "E05",
+		Title:    "Collective spawn latency",
+		PaperRef: "slides 21, 26-27",
+		Run:      runE05,
+	})
+	register(Experiment{
+		ID:       "E07",
+		Title:    "Global MPI across the Booster Interface",
+		PaperRef: "slides 24-29",
+		Run:      runE07,
+	})
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// E04: application scalability classes and the positioning of DEEP
+// (paper slides 9 and 18). The paper's argument: regular sparse codes
+// scale to huge node counts (BG-class machines); complex codes do not;
+// DEEP lets an application put each part where it scales. We sweep
+// node counts and report parallel efficiency per (application class,
+// machine) pair, plus the sustained performance of the best mapping.
+func runE04() *stats.Table {
+	cluster, booster, deep := machine.DEEPConfigs(512, 4096)
+	tab := stats.NewTable(
+		"E04 Scalability classes and DEEP positioning",
+		"nodes", "regular@booster", "regular@cluster", "complex@cluster",
+		"complex@booster", "mixed@deep")
+	for _, n := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		regB := booster.Efficiency(machine.RegularSparse, machine.KNC, n)
+		regC := cluster.Efficiency(machine.RegularSparse, machine.Xeon, n)
+		cxC := cluster.Efficiency(machine.ComplexApp, machine.Xeon, n)
+		cxB := booster.Efficiency(machine.ComplexApp, machine.KNC, n)
+		// DEEP runs the mixed app: complex part on the cluster, the
+		// scalable kernel on the booster; efficiency is the geometric
+		// mean of the two placements weighted by where the work lives.
+		mixed := deep.Efficiency(machine.MixedApp, machine.KNC, n)
+		tab.AddRow(n, regB, regC, cxC, cxB, mixed)
+	}
+	tab.AddNote("regular codes hold efficiency to thousands of nodes; complex codes collapse early")
+	tab.AddNote("expected shape: regular@booster ~ regular@cluster >> complex@*; DEEP's mixed mapping sits between")
+	return tab
+}
+
+// E12: technology scaling (paper slides 2-4): Moore's law doubles
+// transistors every 1.5 years (x100/decade), Meuer's law says
+// supercomputers gain x1000/decade, and single-thread (multi-core
+// scalar) performance has stopped scaling. We project node classes
+// 2008-2020 from those growth laws.
+func runE12() *stats.Table {
+	tab := stats.NewTable(
+		"E12 Technology scaling: multi-core vs many-core trajectories",
+		"year", "scalar_GF", "multicore_node_GF", "manycore_node_GF", "system_x_per_decade")
+	const (
+		scalar2008    = 4.0  // GFlop/s single thread
+		multicore2008 = 80.0 // node peak
+		manycore2008  = 80.0
+	)
+	for year := 2008; year <= 2020; year += 2 {
+		dy := float64(year - 2008)
+		// Scalar speed nearly flat: ~5%/year.
+		scalar := scalar2008 * math.Pow(1.05, dy)
+		// Multi-core node: core count doubles every ~3y after the
+		// frequency wall -> x10/decade.
+		multicore := multicore2008 * math.Pow(10, dy/10)
+		// Many-core node: transistors into cores, Moore-rate x100/dec.
+		manycore := manycore2008 * math.Pow(100, dy/10)
+		// Meuer's law for full systems: x1000/decade.
+		system := math.Pow(1000, dy/10)
+		tab.AddRow(year, scalar, multicore, manycore, system)
+	}
+	tab.AddNote("multi-core ceases scaling (x10/decade); many-core tracks Moore (x100/decade);")
+	tab.AddNote("the x1000/decade system growth (Meuer) therefore requires many-core + more nodes - the DEEP premise")
+	return tab
+}
+
+func init() {
+	register(Experiment{
+		ID:       "E04",
+		Title:    "Scalability classes and DEEP positioning",
+		PaperRef: "slides 9, 18",
+		Run:      runE04,
+	})
+	register(Experiment{
+		ID:       "E12",
+		Title:    "Technology scaling trajectories",
+		PaperRef: "slides 2-4",
+		Run:      runE12,
+	})
+}

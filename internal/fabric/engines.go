@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// EngineParams describes the EXTOLL NIC communication engines of one
+// node, as listed on the paper's EXTOLL feature slide: the VELO engine
+// for zero-copy small messages and the RMA engine for bulk remote
+// memory access.
+type EngineParams struct {
+	// EagerLimit is the largest message VELO carries; larger transfers
+	// use the RMA rendezvous path.
+	EagerLimit int
+	// VeloOverhead is the extra per-message engine latency of VELO
+	// (doorbell + descriptor-free injection); it replaces part of the
+	// host software overhead, so it is usually smaller than
+	// Params.SendOverhead.
+	VeloOverhead sim.Time
+	// RMASetup is the one-time cost to program an RMA descriptor
+	// (registration is assumed cached).
+	RMASetup sim.Time
+	// CtrlBytes is the size of RTS/CTS rendezvous control messages.
+	CtrlBytes int
+}
+
+// DefaultEngines returns the EXTOLL-like engine configuration used by
+// the Booster NICs.
+func DefaultEngines() EngineParams {
+	return EngineParams{
+		EagerLimit:   4096,
+		VeloOverhead: 100 * sim.Nanosecond,
+		RMASetup:     350 * sim.Nanosecond,
+		CtrlBytes:    64,
+	}
+}
+
+// NIC binds a node to a network and exposes the engine-level transfer
+// operations.
+type NIC struct {
+	Net  *Network
+	Node topology.NodeID
+	P    EngineParams
+
+	// VeloMessages and RMAMessages count transfers per engine.
+	VeloMessages uint64
+	RMAMessages  uint64
+}
+
+// NewNIC returns a NIC for node on net with engine parameters p.
+func NewNIC(net *Network, node topology.NodeID, p EngineParams) *NIC {
+	return &NIC{Net: net, Node: node, P: p}
+}
+
+// VeloSend transmits size bytes eagerly: the message is injected
+// immediately with the small VELO overhead, with no handshake. The
+// paper calls this "zero-copy MPI" — there is no host staging and no
+// rendezvous round trip, which is why it wins for small messages.
+func (n *NIC) VeloSend(dst topology.NodeID, size int, done func(at sim.Time, err error)) {
+	n.VeloMessages++
+	n.Net.Eng.After(n.P.VeloOverhead, func() {
+		n.Net.Send(n.Node, dst, size, done)
+	})
+}
+
+// RMAPut transmits size bytes with the rendezvous protocol the RMA
+// engine implements: a request-to-send control message, a clear-to-send
+// response, then the bulk DMA. Bulk data still contends for the same
+// links, but avoids intermediate copies and amortizes its setup cost.
+func (n *NIC) RMAPut(dst topology.NodeID, size int, done func(at sim.Time, err error)) {
+	n.RMAMessages++
+	// RTS to the target.
+	n.Net.Send(n.Node, dst, n.P.CtrlBytes, func(_ sim.Time, err error) {
+		if err != nil {
+			done(n.Net.Eng.Now(), err)
+			return
+		}
+		// CTS back.
+		n.Net.Send(dst, n.Node, n.P.CtrlBytes, func(_ sim.Time, err error) {
+			if err != nil {
+				done(n.Net.Eng.Now(), err)
+				return
+			}
+			// Program the DMA engine, then move the payload.
+			n.Net.Eng.After(n.P.RMASetup, func() {
+				n.Net.Send(n.Node, dst, size, done)
+			})
+		})
+	})
+}
+
+// Transfer picks the engine by message size: VELO up to EagerLimit,
+// RMA beyond, mirroring the eager/rendezvous switch in ParaStation MPI
+// on EXTOLL.
+func (n *NIC) Transfer(dst topology.NodeID, size int, done func(at sim.Time, err error)) {
+	if size <= n.P.EagerLimit {
+		n.VeloSend(dst, size, done)
+	} else {
+		n.RMAPut(dst, size, done)
+	}
+}

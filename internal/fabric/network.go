@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Stats aggregates fabric-wide transfer counters.
+type Stats struct {
+	Messages       uint64
+	BytesDelivered uint64
+	Packets        uint64
+	Retransmits    uint64
+	Drops          uint64
+}
+
+// Network simulates one fabric: a topology whose links are serializing
+// resources with propagation delay, per-hop router delay, error
+// injection and link-level retransmission.
+type Network struct {
+	Eng  *sim.Engine
+	Topo topology.Topology
+	P    Params
+
+	links []*sim.Resource
+	src   *rng.Source
+	Stats Stats
+}
+
+// NewNetwork builds a network over topo with parameters p. The seed
+// drives error injection only; a zero error rate network is fully
+// deterministic regardless of seed.
+func NewNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Eng: eng, Topo: topo, P: p, src: rng.New(seed)}
+	n.links = make([]*sim.Resource, topo.Links())
+	for i := range n.links {
+		n.links[i] = sim.NewResource(eng, fmt.Sprintf("%s/link%d", topo.Name(), i))
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on invalid parameters; for
+// experiment setup code where the parameters are compile-time presets.
+func MustNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) *Network {
+	n, err := NewNetwork(eng, topo, p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// LinkUtilisation returns the busy fraction of link l.
+func (n *Network) LinkUtilisation(l topology.LinkID) float64 {
+	return n.links[l].Utilisation()
+}
+
+// MaxLinkUtilisation returns the highest utilisation over all links,
+// the fabric's hot-spot measure.
+func (n *Network) MaxLinkUtilisation() float64 {
+	max := 0.0
+	for _, l := range n.links {
+		if u := l.Utilisation(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Send delivers size bytes from src to dst and invokes done at the
+// virtual time the last byte has been received (after RecvOverhead).
+// done receives the delivery time and an error that is non-nil only if
+// the message exceeded the retransmission budget.
+//
+// The message is segmented into up to MaxPackets pipelined segments;
+// each segment traverses the route store-and-forward, contending for
+// every link's serialization resource. This captures both the
+// pipelining of large transfers and link contention between concurrent
+// messages.
+func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time, err error)) {
+	if size < 0 {
+		panic("fabric: negative message size")
+	}
+	n.Stats.Messages++
+	route := n.Topo.Route(src, dst)
+	if len(route) == 0 {
+		// Loopback: only the software overheads apply.
+		n.Eng.After(n.P.SendOverhead+n.P.RecvOverhead, func() {
+			n.Stats.BytesDelivered += uint64(size)
+			done(n.Eng.Now(), nil)
+		})
+		return
+	}
+	segs := n.segment(size)
+	n.Stats.Packets += uint64(len(segs))
+	remaining := len(segs)
+	failed := false
+	finish := func(err error) {
+		if err != nil && !failed {
+			failed = true
+			n.Stats.Drops++
+			done(n.Eng.Now(), err)
+		}
+		remaining--
+		if remaining == 0 && !failed {
+			n.Eng.After(n.P.RecvOverhead, func() {
+				n.Stats.BytesDelivered += uint64(size)
+				done(n.Eng.Now(), nil)
+			})
+		}
+	}
+	n.Eng.After(n.P.SendOverhead, func() {
+		for _, s := range segs {
+			n.forward(route, 0, s, finish)
+		}
+	})
+}
+
+// segment splits size bytes into at most maxPackets segments of at
+// least MTU bytes each (except possibly the last).
+func (n *Network) segment(size int) []int {
+	if size == 0 {
+		return []int{0}
+	}
+	packets := (size + n.P.MTU - 1) / n.P.MTU
+	if packets > n.P.maxPackets() {
+		packets = n.P.maxPackets()
+	}
+	segs := make([]int, packets)
+	base := size / packets
+	rem := size % packets
+	for i := range segs {
+		segs[i] = base
+		if i < rem {
+			segs[i]++
+		}
+	}
+	return segs
+}
+
+// forward moves one segment across route[hop:]. Each hop serializes on
+// the link resource, then pays router and propagation delay; a
+// corrupted traversal is detected by CRC at the far end and
+// retransmitted by the link after RetransmitDelay.
+func (n *Network) forward(route []topology.LinkID, hop, bytes int, finish func(error)) {
+	if hop >= len(route) {
+		finish(nil)
+		return
+	}
+	link := n.links[route[hop]]
+	n.traverse(link, bytes, 0, func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
+		n.forward(route, hop+1, bytes, finish)
+	})
+}
+
+func (n *Network) traverse(link *sim.Resource, bytes, attempt int, done func(error)) {
+	link.Acquire(n.P.serTime(bytes), func(_, _ sim.Time) {
+		n.Eng.After(n.P.RouterDelay+n.P.LinkLatency, func() {
+			if n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate) {
+				n.Stats.Retransmits++
+				if attempt+1 >= n.P.maxRetries() {
+					done(fmt.Errorf("fabric: packet dropped after %d retries on %s",
+						attempt+1, link.Name()))
+					return
+				}
+				n.Eng.After(n.P.RetransmitDelay, func() {
+					n.traverse(link, bytes, attempt+1, done)
+				})
+				return
+			}
+			done(nil)
+		})
+	})
+}
+
+// ZeroLoadLatency returns the modelled latency of a size-byte message
+// between src and dst on an idle network: overheads + per-hop router
+// and propagation delays + pipelined serialization. It matches what
+// Send reports when nothing else contends.
+func (n *Network) ZeroLoadLatency(src, dst topology.NodeID, size int) sim.Time {
+	route := n.Topo.Route(src, dst)
+	t := n.P.SendOverhead + n.P.RecvOverhead
+	if len(route) == 0 {
+		return t
+	}
+	segs := n.segment(size)
+	// Pipelined store-and-forward: first segment pays every hop;
+	// remaining segments stream behind on the bottleneck (uniform
+	// links, so any hop).
+	first := segs[0]
+	t += sim.Time(len(route)) * (n.P.RouterDelay + n.P.LinkLatency + n.P.serTime(first))
+	for _, s := range segs[1:] {
+		t += n.P.serTime(s)
+	}
+	return t
+}

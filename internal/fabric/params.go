@@ -1,0 +1,133 @@
+// Package fabric models the interconnect hardware of the DEEP system
+// on top of the discrete-event kernel: serializing links with
+// propagation delay and per-hop router latency, CRC-protected
+// link-level retransmission (the EXTOLL RAS feature), and the EXTOLL
+// communication engines — VELO for small eager messages, RMA for
+// rendezvous bulk transfers, and SMFU for bridging fabrics — plus a
+// PCIe bus model with host-memory staging for the accelerated-cluster
+// baseline.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes one fabric's link and NIC characteristics.
+type Params struct {
+	// LinkBandwidth is the per-link serialization rate in bytes/second.
+	LinkBandwidth float64
+	// LinkLatency is the propagation (wire/serdes) delay per link.
+	LinkLatency sim.Time
+	// RouterDelay is the per-hop switch traversal delay.
+	RouterDelay sim.Time
+	// SendOverhead and RecvOverhead are host/NIC software overheads
+	// charged once per message on each side (the o in LogGP).
+	SendOverhead sim.Time
+	RecvOverhead sim.Time
+	// MTU is the packet payload size used to pipeline large messages
+	// over multi-hop routes.
+	MTU int
+	// MaxPackets caps the number of simulated packets per message so
+	// multi-megabyte transfers do not explode the event count; the
+	// message is split into ceil(size/MTU) logical packets but at most
+	// MaxPackets simulated segments.
+	MaxPackets int
+	// PacketErrorRate is the probability that one packet's traversal of
+	// one link is corrupted. The CRC always detects the corruption and
+	// the link retransmits after RetransmitDelay (link-level
+	// retransmission, per the EXTOLL RAS slide).
+	PacketErrorRate float64
+	// RetransmitDelay is the turnaround before a corrupted packet is
+	// resent on the same link.
+	RetransmitDelay sim.Time
+	// MaxRetries bounds per-link retransmissions of one packet before
+	// the fabric declares the message undeliverable. Zero means 16.
+	MaxRetries int
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p *Params) Validate() error {
+	if p.LinkBandwidth <= 0 {
+		return fmt.Errorf("fabric: non-positive link bandwidth %v", p.LinkBandwidth)
+	}
+	if p.MTU <= 0 {
+		return fmt.Errorf("fabric: non-positive MTU %d", p.MTU)
+	}
+	if p.PacketErrorRate < 0 || p.PacketErrorRate >= 1 {
+		return fmt.Errorf("fabric: packet error rate %v outside [0,1)", p.PacketErrorRate)
+	}
+	if p.LinkLatency < 0 || p.RouterDelay < 0 || p.SendOverhead < 0 || p.RecvOverhead < 0 {
+		return fmt.Errorf("fabric: negative latency parameter")
+	}
+	return nil
+}
+
+func (p *Params) maxPackets() int {
+	if p.MaxPackets <= 0 {
+		return 16
+	}
+	return p.MaxPackets
+}
+
+func (p *Params) maxRetries() int {
+	if p.MaxRetries <= 0 {
+		return 16
+	}
+	return p.MaxRetries
+}
+
+// serTime returns the serialization time of n bytes on one link.
+func (p *Params) serTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(n) / p.LinkBandwidth)
+}
+
+// GB is a convenience for bandwidth constants in bytes/second.
+const GB = 1e9
+
+// Presets for the fabrics discussed in the paper. Absolute values are
+// period-plausible (2013) and chosen so the qualitative relations the
+// paper asserts hold: InfiniBand is "as fast as PCIe besides latency";
+// EXTOLL's VELO gives the lowest small-message latency; PCIe-staged
+// offload pays an extra host-memory copy.
+var (
+	// InfiniBandFDR models the Cluster fabric: ~5.6 GB/s effective,
+	// ~0.7 us end-to-end one hop with HCA overheads.
+	InfiniBandFDR = Params{
+		LinkBandwidth:   5.6 * GB,
+		LinkLatency:     250 * sim.Nanosecond,
+		RouterDelay:     100 * sim.Nanosecond,
+		SendOverhead:    300 * sim.Nanosecond,
+		RecvOverhead:    300 * sim.Nanosecond,
+		MTU:             4096,
+		RetransmitDelay: 2 * sim.Microsecond,
+	}
+	// Extoll models the Booster fabric (EXTOLL R2/Tourmalet-class):
+	// lower per-message overhead thanks to the VELO engine, slightly
+	// lower per-link bandwidth, very low per-hop delay.
+	Extoll = Params{
+		LinkBandwidth:   4.6 * GB,
+		LinkLatency:     120 * sim.Nanosecond,
+		RouterDelay:     60 * sim.Nanosecond,
+		SendOverhead:    150 * sim.Nanosecond,
+		RecvOverhead:    150 * sim.Nanosecond,
+		MTU:             2048,
+		RetransmitDelay: 1 * sim.Microsecond,
+	}
+	// PCIe2x8 models the accelerator attachment bus of the baseline
+	// "cluster with accelerators": decent bandwidth, but every offload
+	// transfer is staged through host main memory by the driver.
+	PCIe2x8 = Params{
+		LinkBandwidth:   3.2 * GB,
+		LinkLatency:     400 * sim.Nanosecond,
+		RouterDelay:     0,
+		SendOverhead:    900 * sim.Nanosecond, // driver + doorbell
+		RecvOverhead:    500 * sim.Nanosecond,
+		MTU:             4096,
+		RetransmitDelay: 2 * sim.Microsecond,
+	}
+)

@@ -1,0 +1,172 @@
+package linalg
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix, the storage format of the
+// "sparse matrix-vector codes" the paper names as the canonical
+// highly-scalable application class.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// NewCSRFromDense converts a dense matrix, dropping exact zeros.
+func NewCSRFromDense(d *Matrix) *CSR {
+	m := &CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int, d.Rows+1)}
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if v := d.At(i, j); v != 0 {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Validate checks structural invariants: monotone row pointers and
+// in-range column indices.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("linalg: CSR row pointer length %d for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.Val) {
+		return fmt.Errorf("linalg: CSR row pointer endpoints invalid")
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("linalg: CSR row %d has negative length", i)
+		}
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("linalg: CSR index/value length mismatch")
+	}
+	for k, j := range m.ColIdx {
+		if j < 0 || j >= m.Cols {
+			return fmt.Errorf("linalg: CSR entry %d column %d out of range", k, j)
+		}
+	}
+	return nil
+}
+
+// MulVec computes y = m * x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("linalg: CSR MulVec shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// RowSlice returns a CSR holding rows [lo, hi) of m with the same
+// column space — the row-block decomposition used by the distributed
+// SpMV workload.
+func (m *CSR) RowSlice(lo, hi int) *CSR {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("linalg: RowSlice [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	start, end := m.RowPtr[lo], m.RowPtr[hi]
+	s := &CSR{
+		Rows:   hi - lo,
+		Cols:   m.Cols,
+		RowPtr: make([]int, hi-lo+1),
+		ColIdx: append([]int(nil), m.ColIdx[start:end]...),
+		Val:    append([]float64(nil), m.Val[start:end]...),
+	}
+	for i := lo; i <= hi; i++ {
+		s.RowPtr[i-lo] = m.RowPtr[i] - start
+	}
+	return s
+}
+
+// Laplacian1D returns the n x n tridiagonal Laplacian (2 on the
+// diagonal, -1 off), a standard regular sparse test matrix.
+func Laplacian1D(n int) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			m.ColIdx = append(m.ColIdx, i-1)
+			m.Val = append(m.Val, -1)
+		}
+		m.ColIdx = append(m.ColIdx, i)
+		m.Val = append(m.Val, 2)
+		if i < n-1 {
+			m.ColIdx = append(m.ColIdx, i+1)
+			m.Val = append(m.Val, -1)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Laplacian2D returns the 5-point stencil Laplacian on an nx x ny grid
+// (dimension nx*ny), the communication structure of the paper's
+// "highly regular" application class.
+func Laplacian2D(nx, ny int) *CSR {
+	n := nx * ny
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	idx := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			add := func(j int, v float64) {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+			}
+			if y > 0 {
+				add(idx(x, y-1), -1)
+			}
+			if x > 0 {
+				add(idx(x-1, y), -1)
+			}
+			add(idx(x, y), 4)
+			if x < nx-1 {
+				add(idx(x+1, y), -1)
+			}
+			if y < ny-1 {
+				add(idx(x, y+1), -1)
+			}
+			m.RowPtr[idx(x, y)+1] = len(m.Val)
+		}
+	}
+	return m
+}
+
+// RandomSparse returns an n x n matrix with about nnzPerRow random
+// off-diagonal entries per row plus a dominant diagonal; uniform
+// supplies randomness. It models the irregular communication pattern
+// of the "complex" application class.
+func RandomSparse(n, nnzPerRow int, uniform func() float64) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		cols := map[int]bool{i: true}
+		m.ColIdx = append(m.ColIdx, i)
+		m.Val = append(m.Val, float64(nnzPerRow)+1)
+		for len(cols) < nnzPerRow+1 && len(cols) < n {
+			j := int(uniform() * float64(n))
+			if j >= n {
+				j = n - 1
+			}
+			if !cols[j] {
+				cols[j] = true
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, uniform()-0.5)
+			}
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// SpMVFlops returns the flop count of one CSR multiply: 2 per entry.
+func (m *CSR) SpMVFlops() float64 { return 2 * float64(m.NNZ()) }

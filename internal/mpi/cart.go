@@ -1,0 +1,157 @@
+package mpi
+
+import "fmt"
+
+// Cartesian communicators (MPI_Cart_create and friends): the natural
+// addressing mode for the Booster's 3D torus and for the halo-exchange
+// applications the paper's "highly regular" class is made of.
+
+// CartComm is an intra-communicator with an attached Cartesian grid.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+}
+
+// CartCreate attaches an n-dimensional grid to the communicator. The
+// product of dims must equal the communicator size; ranks keep their
+// identity (no reordering). Every member must call it with identical
+// arguments.
+func (c *Comm) CartCreate(dims []int, periodic []bool) (*CartComm, error) {
+	if c.remote != nil {
+		return nil, fmt.Errorf("mpi: CartCreate on inter-communicator")
+	}
+	if len(dims) == 0 || len(dims) != len(periodic) {
+		return nil, fmt.Errorf("mpi: CartCreate with %d dims, %d periodicity flags",
+			len(dims), len(periodic))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: non-positive cart dimension %d", d)
+		}
+		n *= d
+	}
+	if n != c.Size() {
+		return nil, fmt.Errorf("mpi: cart grid %v has %d cells for %d ranks", dims, n, c.Size())
+	}
+	return &CartComm{
+		Comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Dims returns the grid shape.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the grid coordinates of the given rank (row-major:
+// the last dimension varies fastest, as in MPI).
+func (cc *CartComm) Coords(rank int) []int {
+	if rank < 0 || rank >= cc.Size() {
+		panic(fmt.Sprintf("mpi: rank %d outside cart of %d", rank, cc.Size()))
+	}
+	coords := make([]int, len(cc.dims))
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % cc.dims[i]
+		rank /= cc.dims[i]
+	}
+	return coords
+}
+
+// Rank returns the rank at the given coordinates. Periodic dimensions
+// wrap; non-periodic out-of-range coordinates return -1 (the
+// MPI_PROC_NULL convention).
+func (cc *CartComm) RankOf(coords []int) int {
+	if len(coords) != len(cc.dims) {
+		panic(fmt.Sprintf("mpi: %d coords for %d dims", len(coords), len(cc.dims)))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := cc.dims[i]
+		if cc.periodic[i] {
+			x = ((x % d) + d) % d
+		} else if x < 0 || x >= d {
+			return -1
+		}
+		rank = rank*d + x
+	}
+	return rank
+}
+
+// Shift returns the (source, dest) ranks for a displacement along one
+// dimension, as MPI_Cart_shift: dest is the caller's coordinate plus
+// disp, source minus disp; -1 where the grid edge is non-periodic.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(cc.dims) {
+		panic(fmt.Sprintf("mpi: shift along dim %d of %d", dim, len(cc.dims)))
+	}
+	me := cc.Coords(cc.Rank())
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	down := append([]int(nil), me...)
+	down[dim] -= disp
+	return cc.RankOf(down), cc.RankOf(up)
+}
+
+// NeighborExchange sends data to dst and receives from src (either may
+// be -1, in which case that half is skipped and the returned payload is
+// nil), using the given tag. It is the halo-exchange primitive.
+func (cc *CartComm) NeighborExchange(src, dst int, tag Tag, data any) any {
+	if dst >= 0 {
+		cc.Send(dst, tag, data)
+	}
+	if src < 0 {
+		return nil
+	}
+	v, _ := cc.Recv(src, tag)
+	return v
+}
+
+// DimsCreate factors nnodes into ndims near-equal factors, largest
+// first (MPI_Dims_create).
+func DimsCreate(nnodes, ndims int) []int {
+	if nnodes <= 0 || ndims <= 0 {
+		panic(fmt.Sprintf("mpi: DimsCreate(%d, %d)", nnodes, ndims))
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Factorise fully, then distribute the factors largest-first onto
+	// the currently smallest dimension — this balances the grid (e.g.
+	// 12 over 2 dims becomes 4x3, not 6x2).
+	var factors []int
+	for n := nnodes; n > 1; {
+		f := smallestFactor(n)
+		factors = append(factors, f)
+		n /= f
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		mi := 0
+		for j := 1; j < ndims; j++ {
+			if dims[j] < dims[mi] {
+				mi = j
+			}
+		}
+		dims[mi] *= factors[i]
+	}
+	// Sort descending for the MPI convention.
+	for i := 0; i < ndims; i++ {
+		for j := i + 1; j < ndims; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package mpi
+
+import "fmt"
+
+// Variable-count collectives and prefix variants complementing coll.go.
+
+// Gatherv collects variable-size []float64 contributions at root; the
+// result is the concatenation in rank order (nil on non-roots).
+func (c *Comm) Gatherv(root int, data []float64) []float64 {
+	parts := c.Gather(root, data)
+	if c.rank != root {
+		return nil
+	}
+	var out []float64
+	for _, p := range parts {
+		out = append(out, AsFloat64s(p)...)
+	}
+	return out
+}
+
+// Scatterv distributes counts[i] elements of data to rank i from root
+// and returns the local slice. Non-roots pass nil data; counts must be
+// identical on every rank (they are usually derived from the problem
+// decomposition).
+func (c *Comm) Scatterv(root int, data []float64, counts []int) []float64 {
+	n := len(c.group)
+	if len(counts) != n {
+		panic(fmt.Sprintf("mpi: Scatterv with %d counts for %d ranks", len(counts), n))
+	}
+	var parts []any
+	if c.rank == root {
+		total := 0
+		for _, cnt := range counts {
+			if cnt < 0 {
+				panic("mpi: negative Scatterv count")
+			}
+			total += cnt
+		}
+		if total != len(data) {
+			panic(fmt.Sprintf("mpi: Scatterv counts sum to %d, data has %d", total, len(data)))
+		}
+		parts = make([]any, n)
+		off := 0
+		for i, cnt := range counts {
+			parts[i] = data[off : off+cnt]
+			off += cnt
+		}
+	}
+	return AsFloat64s(c.Scatter(root, parts))
+}
+
+// Exscan computes the exclusive prefix reduction: rank 0 receives the
+// identity (returned as nil), rank r > 0 receives
+// op(data_0, ..., data_{r-1}).
+func (c *Comm) Exscan(data []float64, op Op) []float64 {
+	// Run an inclusive scan on shifted contributions: receive the
+	// accumulated prefix from the left, forward prefix op data right.
+	var acc []float64
+	if c.rank > 0 {
+		v, _ := c.Recv(c.rank-1, tagScan)
+		acc = AsFloat64s(v)
+	}
+	if c.rank < len(c.group)-1 {
+		fwd := append([]float64(nil), data...)
+		if acc != nil {
+			combined := append([]float64(nil), acc...)
+			op(combined, data)
+			fwd = combined
+		}
+		c.sendInternal(c.rank+1, tagScan, fwd)
+	}
+	return acc
+}
+
+// ReduceScatter combines contributions elementwise with op and then
+// scatters equal blocks of the result: rank i receives elements
+// [i*blk, (i+1)*blk) where blk = len(data)/size. len(data) must be a
+// multiple of the communicator size.
+func (c *Comm) ReduceScatter(data []float64, op Op) []float64 {
+	n := len(c.group)
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: ReduceScatter of %d elements over %d ranks", len(data), n))
+	}
+	full := c.Reduce(0, data, op)
+	blk := len(data) / n
+	var parts []any
+	if c.rank == 0 {
+		parts = make([]any, n)
+		for i := 0; i < n; i++ {
+			parts[i] = full[i*blk : (i+1)*blk]
+		}
+	}
+	return AsFloat64s(c.Scatter(0, parts))
+}

@@ -1,0 +1,227 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Comm is a communicator handle held by exactly one rank goroutine.
+// For an intra-communicator, group lists the endpoint ids of all
+// members and remote is nil. For an inter-communicator (the result of
+// CommSpawn), group is the local group and remote is the remote group;
+// point-to-point operations address ranks of the remote group, as in
+// MPI.
+type Comm struct {
+	world  *World
+	ep     *endpoint
+	ctx    int32
+	group  []int // local group: endpoint ids, index = rank
+	remote []int // non-nil for inter-communicators
+	rank   int   // this process's rank in the local group
+	parent *Comm // inter-communicator to the spawning processes, if any
+}
+
+// Rank returns the caller's rank in the local group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the local group size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// RemoteSize returns the remote group size (zero for
+// intra-communicators).
+func (c *Comm) RemoteSize() int { return len(c.remote) }
+
+// IsInter reports whether c is an inter-communicator.
+func (c *Comm) IsInter() bool { return c.remote != nil }
+
+// Parent returns the inter-communicator to the processes that spawned
+// this world, or nil for the initial world (MPI_Comm_get_parent).
+func (c *Comm) Parent() *Comm { return c.parent }
+
+// Time returns the rank's virtual clock.
+func (c *Comm) Time() sim.Time { return c.ep.vt }
+
+// Advance adds modelled local computation time to the rank's clock.
+func (c *Comm) Advance(d sim.Time) {
+	if d < 0 {
+		panic("mpi: Advance by negative duration")
+	}
+	c.ep.vt += d
+}
+
+// Stats returns the rank's traffic counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		SentMsgs: c.ep.sentMsgs, RecvMsgs: c.ep.recvMsgs,
+		SentBytes: c.ep.sentBytes, RecvBytes: c.ep.recvBytes,
+	}
+}
+
+// destEndpoint resolves a destination rank to an endpoint id, using
+// the remote group on inter-communicators.
+func (c *Comm) destEndpoint(rank int) int {
+	g := c.group
+	if c.remote != nil {
+		g = c.remote
+	}
+	if rank < 0 || rank >= len(g) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(g)))
+	}
+	return g[rank]
+}
+
+// Send transmits data to dst with the given tag. The send is buffered:
+// it does not wait for a matching receive (eager protocol). The virtual
+// clock advances by the sender overhead; the message becomes available
+// at the receiver at sender-time + overhead + transport cost.
+func (c *Comm) Send(dst int, tag Tag, data any) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: Send with reserved tag %d", tag))
+	}
+	bytes := PayloadBytes(data)
+	t := c.world.transport
+	epDst := c.world.endpoint(c.destEndpoint(dst))
+	cost := t.Cost(c.world.nodeOf(c.ep.id), c.world.nodeOf(epDst.id), bytes)
+	c.ep.vt += t.SendOverhead()
+	env := envelope{
+		ctx:     c.ctx,
+		srcRank: c.rank,
+		tag:     tag,
+		data:    clonePayload(data),
+		bytes:   bytes,
+		stamp:   c.ep.vt + cost,
+	}
+	c.ep.sentMsgs++
+	c.ep.sentBytes += uint64(bytes)
+	epDst.deliver(env)
+}
+
+// match scans the mailbox for the first envelope matching (ctx, src,
+// tag) and removes it. Caller holds ep.mu.
+func (ep *endpoint) match(ctx int32, src int, tag Tag) (envelope, bool) {
+	for i, env := range ep.box {
+		if env.ctx != ctx {
+			continue
+		}
+		if src != AnySource && env.srcRank != src {
+			continue
+		}
+		if tag != AnyTag && env.tag != tag {
+			continue
+		}
+		ep.box = append(ep.box[:i], ep.box[i+1:]...)
+		return env, true
+	}
+	return envelope{}, false
+}
+
+// Recv blocks until a message matching src and tag arrives on c and
+// returns its payload. src may be AnySource and tag may be AnyTag.
+// On return the rank's clock is max(local + recv overhead, message
+// availability time).
+func (c *Comm) Recv(src int, tag Tag) (any, Status) {
+	if src != AnySource && c.remote == nil {
+		// Validate early for intra-comms; inter-comm sources are remote
+		// ranks, validated by range below.
+		if src < 0 || src >= len(c.group) {
+			panic(fmt.Sprintf("mpi: Recv from rank %d of %d", src, len(c.group)))
+		}
+	}
+	ep := c.ep
+	ep.mu.Lock()
+	var env envelope
+	for {
+		var ok bool
+		env, ok = ep.match(c.ctx, src, tag)
+		if ok {
+			break
+		}
+		ep.cond.Wait()
+	}
+	ep.mu.Unlock()
+	arrived := env.stamp
+	local := ep.vt + c.world.transport.RecvOverhead()
+	if arrived > local {
+		ep.vt = arrived
+	} else {
+		ep.vt = local
+	}
+	ep.recvMsgs++
+	ep.recvBytes += uint64(env.bytes)
+	return env.data, Status{Source: env.srcRank, Tag: env.tag, Bytes: env.bytes}
+}
+
+// Probe reports whether a matching message is available without
+// receiving it.
+func (c *Comm) Probe(src int, tag Tag) (Status, bool) {
+	ep := c.ep
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for _, env := range ep.box {
+		if env.ctx != c.ctx {
+			continue
+		}
+		if src != AnySource && env.srcRank != src {
+			continue
+		}
+		if tag != AnyTag && env.tag != tag {
+			continue
+		}
+		return Status{Source: env.srcRank, Tag: env.tag, Bytes: env.bytes}, true
+	}
+	return Status{}, false
+}
+
+// Sendrecv performs a combined send and receive, safe against the
+// head-to-head exchange deadlock (sends here are buffered anyway, but
+// the combined call keeps application code close to its MPI shape).
+func (c *Comm) Sendrecv(dst int, sendTag Tag, data any, src int, recvTag Tag) (any, Status) {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Request represents a pending nonblocking operation.
+type Request struct {
+	wait func() (any, Status)
+	data any
+	st   Status
+	done bool
+}
+
+// Wait completes the operation, returning the payload (nil for sends).
+func (r *Request) Wait() (any, Status) {
+	if !r.done {
+		r.data, r.st = r.wait()
+		r.done = true
+	}
+	return r.data, r.st
+}
+
+// Isend starts a nonblocking send. Sends are buffered, so the request
+// completes immediately; the call exists for source compatibility with
+// MPI-shaped application code.
+func (c *Comm) Isend(dst int, tag Tag, data any) *Request {
+	c.Send(dst, tag, data)
+	return &Request{done: true}
+}
+
+// Irecv posts a nonblocking receive. The matching work happens in
+// Wait; posting order still determines matching order between multiple
+// Irecvs of the same signature only if Waits are issued in post order.
+func (c *Comm) Irecv(src int, tag Tag) *Request {
+	return &Request{wait: func() (any, Status) { return c.Recv(src, tag) }}
+}
+
+// WaitAll completes all given requests.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Abort panics the calling rank with a diagnosable error; the world
+// collects it as a failure of this rank.
+func (c *Comm) Abort(reason string) {
+	panic(fmt.Sprintf("mpi: rank %d aborted: %s", c.rank, reason))
+}

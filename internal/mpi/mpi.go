@@ -1,0 +1,263 @@
+// Package mpi implements the message-passing runtime that plays the
+// role of ParaStation MPI in the DEEP software stack: communicators
+// with ranks, tagged point-to-point messaging, the standard
+// collectives, communicator split/dup, and — centrally for the paper —
+// CommSpawn, which starts a new group of processes and connects it to
+// the parents through an inter-communicator ("Global MPI", paper
+// slides 24-29).
+//
+// Ranks are goroutines; messages are delivered through in-process
+// mailboxes with MPI matching semantics (communicator context, source,
+// tag, with wildcards). Every rank additionally carries a virtual
+// clock: a pluggable Transport charges LogGP-style costs on each
+// message, so a functional run simultaneously yields modelled execution
+// times on the simulated DEEP hardware without a global event loop.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Rank addresses a process within a communicator.
+// AnySource matches messages from every rank.
+const AnySource = -1
+
+// Tag labels messages for matching. AnyTag matches every tag.
+type Tag int
+
+// AnyTag is the receive wildcard for tags.
+const AnyTag Tag = -1
+
+// Transport models the cost of moving bytes between two endpoints. The
+// functional behaviour of the runtime is transport-independent; only
+// the virtual clocks differ.
+type Transport interface {
+	// Cost returns the network time from injection at endpoint src to
+	// delivery at endpoint dst, excluding the per-message software
+	// overheads below.
+	Cost(src, dst int, bytes int) sim.Time
+	// SendOverhead is the sender-side software cost per message.
+	SendOverhead() sim.Time
+	// RecvOverhead is the receiver-side software cost per message.
+	RecvOverhead() sim.Time
+}
+
+// ZeroTransport charges nothing; it turns the runtime into a purely
+// functional message-passing library.
+type ZeroTransport struct{}
+
+// Cost implements Transport.
+func (ZeroTransport) Cost(_, _ int, _ int) sim.Time { return 0 }
+
+// SendOverhead implements Transport.
+func (ZeroTransport) SendOverhead() sim.Time { return 0 }
+
+// RecvOverhead implements Transport.
+func (ZeroTransport) RecvOverhead() sim.Time { return 0 }
+
+// envelope is one in-flight message.
+type envelope struct {
+	ctx     int32
+	srcRank int // rank in the sending communicator's (local) group
+	tag     Tag
+	data    any
+	bytes   int
+	// stamp is the virtual time at which the message is available at
+	// the receiver (sender clock + overhead + transport cost).
+	stamp sim.Time
+}
+
+// endpoint is the per-process runtime state: mailbox plus virtual
+// clock. The owning goroutine is the only reader of vt; senders only
+// read it via the stamp they computed before handing off.
+type endpoint struct {
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  []envelope
+
+	// vt is the endpoint's virtual clock, owned by the rank goroutine.
+	vt sim.Time
+
+	// statistics, owned by the rank goroutine
+	sentMsgs  uint64
+	sentBytes uint64
+	recvMsgs  uint64
+	recvBytes uint64
+}
+
+func newEndpoint(id int) *endpoint {
+	ep := &endpoint{id: id}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// deliver appends an envelope and wakes matchers.
+func (ep *endpoint) deliver(env envelope) {
+	ep.mu.Lock()
+	ep.box = append(ep.box, env)
+	ep.mu.Unlock()
+	ep.cond.Broadcast()
+}
+
+// World is one running MPI universe: the set of endpoints (including
+// any spawned after startup), the transport, and bookkeeping for
+// context-id allocation.
+type World struct {
+	transport Transport
+	placeFn   func(ep int) int // endpoint -> transport node (immutable)
+
+	mu         sync.RWMutex
+	endpoints  []*endpoint
+	placements map[int]int // per-endpoint overrides (spawn placement)
+	nextCtx    int32
+
+	wg     sync.WaitGroup
+	errMu  sync.Mutex
+	errs   []error
+	spawns uint64
+}
+
+// endpoint returns the endpoint with the given id; ids are never
+// removed, so the pointer stays valid after the lock is released.
+func (w *World) endpoint(id int) *endpoint {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.endpoints[id]
+}
+
+// nodeOf maps an endpoint to its transport node, honouring spawn-time
+// placement overrides.
+func (w *World) nodeOf(ep int) int {
+	w.mu.RLock()
+	if n, ok := w.placements[ep]; ok {
+		w.mu.RUnlock()
+		return n
+	}
+	w.mu.RUnlock()
+	return w.placeFn(ep)
+}
+
+// setPlacement pins endpoint ep to a transport node.
+func (w *World) setPlacement(ep, node int) {
+	w.mu.Lock()
+	w.placements[ep] = node
+	w.mu.Unlock()
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithPlacement sets the endpoint-to-node mapping used by the
+// transport; the default is the identity.
+func WithPlacement(place func(ep int) int) Option {
+	return func(w *World) { w.placeFn = place }
+}
+
+// NewWorld returns a world using the given transport.
+func NewWorld(t Transport, opts ...Option) *World {
+	w := &World{
+		transport:  t,
+		placeFn:    func(ep int) int { return ep },
+		placements: make(map[int]int),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+func (w *World) newContext() int32 { return atomic.AddInt32(&w.nextCtx, 1) }
+
+func (w *World) addEndpoints(n int) []*endpoint {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	eps := make([]*endpoint, n)
+	for i := range eps {
+		eps[i] = newEndpoint(len(w.endpoints))
+		w.endpoints = append(w.endpoints, eps[i])
+	}
+	return eps
+}
+
+func (w *World) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	w.errMu.Lock()
+	w.errs = append(w.errs, err)
+	w.errMu.Unlock()
+}
+
+// Spawns reports how many CommSpawn operations completed in this world.
+func (w *World) Spawns() uint64 { return atomic.LoadUint64(&w.spawns) }
+
+// Run starts n ranks executing fn and blocks until every rank in the
+// world — including ranks created later via CommSpawn — has returned.
+// It returns the joined errors and the maximum virtual time over all
+// endpoints (the modelled makespan).
+func (w *World) Run(n int, fn func(*Comm) error) (sim.Time, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mpi: Run with %d ranks", n)
+	}
+	eps := w.addEndpoints(n)
+	ctx := w.newContext()
+	group := make([]int, n)
+	for i, ep := range eps {
+		group[i] = ep.id
+	}
+	for i := range eps {
+		comm := &Comm{world: w, ep: eps[i], ctx: ctx, group: group, rank: i}
+		w.launch(comm, fn)
+	}
+	w.wg.Wait()
+	w.mu.Lock()
+	var max sim.Time
+	for _, ep := range w.endpoints {
+		if ep.vt > max {
+			max = ep.vt
+		}
+	}
+	w.mu.Unlock()
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	if len(w.errs) > 0 {
+		return max, fmt.Errorf("mpi: %d rank(s) failed, first: %w", len(w.errs), w.errs[0])
+	}
+	return max, nil
+}
+
+func (w *World) launch(comm *Comm, fn func(*Comm) error) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				w.recordErr(fmt.Errorf("mpi: rank %d panicked: %v", comm.rank, r))
+			}
+		}()
+		w.recordErr(fn(comm))
+	}()
+}
+
+// Run is the package-level convenience: one world, one entry function.
+func Run(n int, t Transport, fn func(*Comm) error) (sim.Time, error) {
+	return NewWorld(t).Run(n, fn)
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    Tag
+	Bytes  int
+}
+
+// Stats is a snapshot of one rank's traffic counters.
+type Stats struct {
+	SentMsgs, RecvMsgs   uint64
+	SentBytes, RecvBytes uint64
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// SpawnConfig tunes the modelled cost of process creation, the
+// operation at the heart of the paper's Global MPI: "the actual spawn
+// [is] done via MPI_Comm_spawn", a collective of the Cluster
+// processes that starts the highly scalable code parts on Booster
+// nodes.
+type SpawnConfig struct {
+	// PerProcess is the resource-manager cost to start one new process
+	// (fork/exec, binary distribution, PMI wire-up amortised per rank).
+	PerProcess sim.Time
+	// Base is the fixed cost of the spawn operation (scheduler round
+	// trip to the ParaStation daemon).
+	Base sim.Time
+	// Place maps the i-th spawned process to a transport node; nil
+	// keeps the world's default placement.
+	Place func(child int) int
+}
+
+// DefaultSpawnConfig uses period-plausible startup costs: a 2 ms
+// scheduler round trip plus 500 us per spawned process.
+func DefaultSpawnConfig() SpawnConfig {
+	return SpawnConfig{
+		PerProcess: 500 * sim.Microsecond,
+		Base:       2 * sim.Millisecond,
+	}
+}
+
+// Spawn is MPI_Comm_spawn: a collective over the intra-communicator c
+// that starts n new ranks executing fn and returns the
+// inter-communicator connecting the callers (local group) with the
+// children (remote group). The children receive an intra-communicator
+// covering exactly the spawned group, whose Parent() method returns
+// their side of the inter-communicator.
+//
+// The modelled cost is charged at the root and propagated to all
+// participants through the closing synchronisation, mirroring the real
+// collective's semantics.
+func (c *Comm) Spawn(n int, cfg SpawnConfig, fn func(*Comm) error) *Comm {
+	if c.remote != nil {
+		panic("mpi: Spawn on inter-communicator")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: Spawn of %d processes", n))
+	}
+	w := c.world
+	parentGroup := c.group
+
+	var childGroup []int
+	var interCtx, childCtx int32
+	if c.rank == 0 {
+		// Charge the resource-manager cost at the root.
+		c.ep.vt += cfg.Base + sim.Time(n)*cfg.PerProcess
+		eps := w.addEndpoints(n)
+		childGroup = make([]int, n)
+		for i, ep := range eps {
+			childGroup[i] = ep.id
+			if cfg.Place != nil {
+				w.setPlacement(ep.id, cfg.Place(i))
+			}
+		}
+		interCtx = w.newContext()
+		childCtx = w.newContext()
+		// Launch children. Their clocks start at the root's current
+		// time plus the transport cost of the start signal.
+		for i, ep := range eps {
+			start := c.ep.vt + w.transport.Cost(
+				w.nodeOf(c.ep.id), w.nodeOf(ep.id), 64)
+			childComm := &Comm{
+				world: w,
+				ep:    ep,
+				ctx:   childCtx,
+				group: childGroup,
+				rank:  i,
+			}
+			childComm.parent = &Comm{
+				world:  w,
+				ep:     ep,
+				ctx:    interCtx,
+				group:  childGroup,
+				remote: parentGroup,
+				rank:   i,
+			}
+			ep.vt = start
+			w.launch(childComm, fn)
+		}
+		atomic.AddUint64(&w.spawns, 1)
+	}
+	// Distribute the inter-communicator description to all parents.
+	info := make([]int, 0, 2+n)
+	if c.rank == 0 {
+		info = append(info, int(interCtx))
+		info = append(info, childGroup...)
+	}
+	got := c.Bcast(0, info).([]int)
+	interCtx = int32(got[0])
+	childGroup = got[1:]
+	return &Comm{
+		world:  w,
+		ep:     c.ep,
+		ctx:    interCtx,
+		group:  parentGroup,
+		remote: childGroup,
+		rank:   c.rank,
+	}
+}
+
+// Merge is MPI_Intercomm_merge: it fuses the two sides of the
+// inter-communicator into one intra-communicator. local must be the
+// caller's local intra-communicator (the communicator Spawn was called
+// on for parents; the world communicator for children). When high is
+// false the caller's group gets the low ranks; exactly one side must
+// pass high=true.
+func (inter *Comm) Merge(local *Comm, high bool) *Comm {
+	if inter.remote == nil {
+		panic("mpi: Merge on intra-communicator")
+	}
+	var ctx int32
+	if !high {
+		// Low side allocates the context and tells the other side.
+		if local.rank == 0 {
+			ctx = inter.world.newContext()
+			inter.sendInternal(0, tagMerge, int64(ctx))
+		}
+	} else {
+		if local.rank == 0 {
+			v, _ := inter.Recv(0, tagMerge)
+			ctx = int32(v.(int64))
+		}
+	}
+	v := local.Bcast(0, int64(ctx))
+	ctx = int32(v.(int64))
+	var group []int
+	var rank int
+	if !high {
+		group = append(append([]int(nil), inter.group...), inter.remote...)
+		rank = local.rank
+	} else {
+		group = append(append([]int(nil), inter.remote...), inter.group...)
+		rank = len(inter.remote) + local.rank
+	}
+	return &Comm{
+		world: inter.world, ep: inter.ep, ctx: ctx,
+		group: group, rank: rank, parent: local.parent,
+	}
+}

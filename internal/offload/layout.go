@@ -1,0 +1,86 @@
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Data layout transformations between the Cluster's row-major matrices
+// and the Booster kernels' tile layout — the transformation step the
+// paper's offload-invocation slide calls out explicitly.
+
+// PackTiles converts an n x n row-major matrix (n divisible by ts)
+// into NT x NT tiles of size ts, returned in tile-row-major order.
+func PackTiles(m *linalg.Matrix, ts int) ([]*linalg.Tile, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("offload: PackTiles on %dx%d matrix", m.Rows, m.Cols)
+	}
+	if ts <= 0 || m.Rows%ts != 0 {
+		return nil, fmt.Errorf("offload: tile size %d does not divide %d", ts, m.Rows)
+	}
+	nt := m.Rows / ts
+	tiles := make([]*linalg.Tile, nt*nt)
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			t := linalg.NewTile(ts)
+			for i := 0; i < ts; i++ {
+				for j := 0; j < ts; j++ {
+					t.Set(i, j, m.At(ti*ts+i, tj*ts+j))
+				}
+			}
+			tiles[ti*nt+tj] = t
+		}
+	}
+	return tiles, nil
+}
+
+// UnpackTiles reverses PackTiles.
+func UnpackTiles(tiles []*linalg.Tile, nt, ts int) (*linalg.Matrix, error) {
+	if len(tiles) != nt*nt {
+		return nil, fmt.Errorf("offload: %d tiles for %dx%d grid", len(tiles), nt, nt)
+	}
+	m := linalg.NewMatrix(nt*ts, nt*ts)
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			t := tiles[ti*nt+tj]
+			if t.N != ts {
+				return nil, fmt.Errorf("offload: tile (%d,%d) has size %d, want %d", ti, tj, t.N, ts)
+			}
+			for i := 0; i < ts; i++ {
+				for j := 0; j < ts; j++ {
+					m.Set(ti*ts+i, tj*ts+j, t.At(i, j))
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// FlattenTiles serialises tiles into one []float64 for shipment in a
+// Request, tile-major.
+func FlattenTiles(tiles []*linalg.Tile) []float64 {
+	if len(tiles) == 0 {
+		return nil
+	}
+	ts := tiles[0].N
+	out := make([]float64, 0, len(tiles)*ts*ts)
+	for _, t := range tiles {
+		out = append(out, t.Data...)
+	}
+	return out
+}
+
+// UnflattenTiles reverses FlattenTiles given the tile count and size.
+func UnflattenTiles(data []float64, count, ts int) ([]*linalg.Tile, error) {
+	if len(data) != count*ts*ts {
+		return nil, fmt.Errorf("offload: %d values for %d tiles of %d", len(data), count, ts)
+	}
+	tiles := make([]*linalg.Tile, count)
+	for i := range tiles {
+		t := linalg.NewTile(ts)
+		copy(t.Data, data[i*ts*ts:(i+1)*ts*ts])
+		tiles[i] = t
+	}
+	return tiles, nil
+}

@@ -1,0 +1,212 @@
+package ompss
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Graph analysis utilities over recorded task sets (WithRecording).
+// They power the property tests (acyclicity, serialisability) and the
+// virtual-time makespan model behind the Cholesky speedup experiment.
+
+// GraphBuilder records a task submission sequence without executing
+// it, reconstructing the dependence DAG with the same semantics as
+// Runtime.Submit. Use it to analyse a workload (critical path, work,
+// modelled makespan on w workers) independently of real execution —
+// the live runtime consumes successor lists as it runs, so analysis
+// always happens on a dry-run re-submission.
+type GraphBuilder struct {
+	lastWriter map[any]int
+	readers    map[any][]int
+	// Succ[i] lists successor task indices of task i.
+	Succ [][]int
+	// Pred counts in-degrees.
+	Pred []int
+	// Costs and Names mirror the submissions.
+	Costs []sim.Time
+	Names []string
+	Prio  []int
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{
+		lastWriter: make(map[any]int),
+		readers:    make(map[any][]int),
+	}
+}
+
+// Add registers a task with dependences d and returns its index. The
+// dependence semantics are identical to Runtime.Submit.
+func (g *GraphBuilder) Add(name string, d Deps) int {
+	id := len(g.Succ)
+	g.Succ = append(g.Succ, nil)
+	g.Pred = append(g.Pred, 0)
+	g.Costs = append(g.Costs, d.Cost)
+	g.Names = append(g.Names, name)
+	g.Prio = append(g.Prio, d.Priority)
+
+	seen := make(map[int]bool)
+	addDep := func(pred int) {
+		if pred < 0 || pred == id || seen[pred] {
+			return
+		}
+		seen[pred] = true
+		g.Succ[pred] = append(g.Succ[pred], id)
+		g.Pred[id]++
+	}
+	last := func(reg any) int {
+		if w, ok := g.lastWriter[reg]; ok {
+			return w
+		}
+		return -1
+	}
+	for _, reg := range d.In {
+		addDep(last(reg))
+		g.readers[reg] = append(g.readers[reg], id)
+	}
+	writes := append(append([]any{}, d.Out...), d.InOut...)
+	for _, reg := range writes {
+		addDep(last(reg))
+		for _, rd := range g.readers[reg] {
+			addDep(rd)
+		}
+		g.readers[reg] = nil
+		g.lastWriter[reg] = id
+		if containsRegion(d.InOut, reg) {
+			g.readers[reg] = append(g.readers[reg], id)
+		}
+	}
+	return id
+}
+
+// Len returns the number of tasks.
+func (g *GraphBuilder) Len() int { return len(g.Succ) }
+
+// CheckAcyclic returns an error if the graph has a cycle (it never
+// should: dependences only point backwards in submission order, so this
+// is a structural self-check used by the property tests).
+func (g *GraphBuilder) CheckAcyclic() error {
+	for i, succ := range g.Succ {
+		for _, s := range succ {
+			if s <= i {
+				return fmt.Errorf("ompss: edge %d -> %d violates submission order", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the longest cost-weighted path through the
+// graph — the dataflow execution's lower bound at infinite parallelism.
+func (g *GraphBuilder) CriticalPath() sim.Time {
+	n := g.Len()
+	finish := make([]sim.Time, n)
+	var max sim.Time
+	for i := 0; i < n; i++ {
+		f := finish[i] + g.Costs[i]
+		finish[i] = f // finish[i] held earliest start until now
+		if f > max {
+			max = f
+		}
+		for _, s := range g.Succ[i] {
+			if f > finish[s] {
+				finish[s] = f
+			}
+		}
+	}
+	return max
+}
+
+// TotalWork returns the sum of task costs.
+func (g *GraphBuilder) TotalWork() sim.Time {
+	var t sim.Time
+	for _, c := range g.Costs {
+		t += c
+	}
+	return t
+}
+
+// simEvent is a running task completion in the makespan simulation.
+type simEvent struct {
+	at   sim.Time
+	task int
+}
+
+type simEventHeap []simEvent
+
+func (h simEventHeap) Len() int           { return len(h) }
+func (h simEventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h simEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *simEventHeap) Push(x any)        { *h = append(*h, x.(simEvent)) }
+func (h *simEventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Makespan simulates list scheduling of the graph on the given number
+// of workers, using task costs as durations and priorities (then
+// submission order) to pick among ready tasks. It returns the modelled
+// parallel execution time — the quantity the Cholesky speedup
+// experiment sweeps over worker counts.
+func (g *GraphBuilder) Makespan(workers int) sim.Time {
+	if workers < 1 {
+		panic("ompss: Makespan with no workers")
+	}
+	n := g.Len()
+	pending := append([]int(nil), g.Pred...)
+	ready := &prioIdxHeap{prio: g.Prio}
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			heap.Push(ready, i)
+		}
+	}
+	running := &simEventHeap{}
+	var now sim.Time
+	busy := 0
+	done := 0
+	for done < n {
+		for busy < workers && ready.Len() > 0 {
+			t := heap.Pop(ready).(int)
+			heap.Push(running, simEvent{at: now + g.Costs[t], task: t})
+			busy++
+		}
+		if running.Len() == 0 {
+			panic("ompss: makespan deadlock — graph has unreachable tasks")
+		}
+		ev := heap.Pop(running).(simEvent)
+		now = ev.at
+		busy--
+		done++
+		for _, s := range g.Succ[ev.task] {
+			pending[s]--
+			if pending[s] == 0 {
+				heap.Push(ready, s)
+			}
+		}
+	}
+	return now
+}
+
+// prioIdxHeap orders ready task indices by priority desc, then index.
+type prioIdxHeap struct {
+	idx  []int
+	prio []int
+}
+
+func (h *prioIdxHeap) Len() int { return len(h.idx) }
+func (h *prioIdxHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] > h.prio[b]
+	}
+	return a < b
+}
+func (h *prioIdxHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *prioIdxHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *prioIdxHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}

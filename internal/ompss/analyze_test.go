@@ -1,0 +1,170 @@
+package ompss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func chainGraph(n int, cost sim.Time) *GraphBuilder {
+	g := NewGraphBuilder()
+	region := new(int)
+	for i := 0; i < n; i++ {
+		g.Add("step", Deps{InOut: []any{region}, Cost: cost})
+	}
+	return g
+}
+
+func independentGraph(n int, cost sim.Time) *GraphBuilder {
+	g := NewGraphBuilder()
+	for i := 0; i < n; i++ {
+		g.Add("free", Deps{Cost: cost})
+	}
+	return g
+}
+
+func TestGraphBuilderDeps(t *testing.T) {
+	g := NewGraphBuilder()
+	a, b := new(int), new(int)
+	w := g.Add("w", Deps{Out: []any{a}})
+	r1 := g.Add("r1", Deps{In: []any{a}})
+	r2 := g.Add("r2", Deps{In: []any{a}})
+	w2 := g.Add("w2", Deps{Out: []any{a}, In: []any{b}})
+	if g.Pred[w] != 0 || g.Pred[r1] != 1 || g.Pred[r2] != 1 {
+		t.Fatalf("pred counts %v", g.Pred)
+	}
+	// w2 depends on w (WAW) and both readers (WAR).
+	if g.Pred[w2] != 3 {
+		t.Fatalf("w2 pred = %d, want 3", g.Pred[w2])
+	}
+	if err := g.CheckAcyclic(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	g := chainGraph(10, sim.Microsecond)
+	if got := g.CriticalPath(); got != 10*sim.Microsecond {
+		t.Fatalf("chain critical path %v", got)
+	}
+	if got := g.TotalWork(); got != 10*sim.Microsecond {
+		t.Fatalf("total work %v", got)
+	}
+}
+
+func TestCriticalPathIndependent(t *testing.T) {
+	g := independentGraph(10, sim.Microsecond)
+	if got := g.CriticalPath(); got != sim.Microsecond {
+		t.Fatalf("independent critical path %v", got)
+	}
+}
+
+func TestMakespanChainDoesNotSpeedUp(t *testing.T) {
+	g := chainGraph(20, sim.Microsecond)
+	if m1, m8 := g.Makespan(1), g.Makespan(8); m1 != m8 {
+		t.Fatalf("chain sped up: %v vs %v", m1, m8)
+	}
+}
+
+func TestMakespanIndependentScalesLinearly(t *testing.T) {
+	g := independentGraph(64, sim.Microsecond)
+	m1 := g.Makespan(1)
+	m8 := g.Makespan(8)
+	if m1 != 64*sim.Microsecond || m8 != 8*sim.Microsecond {
+		t.Fatalf("makespans %v %v", m1, m8)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	// Makespan must respect both the work bound and the critical path
+	// bound for random graphs (Graham's bounds).
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := NewGraphBuilder()
+		regions := make([]any, 5)
+		for i := range regions {
+			regions[i] = new(int)
+		}
+		for i := 0; i < 40; i++ {
+			var d Deps
+			d.Cost = sim.Time(r.Intn(100)+1) * sim.Nanosecond
+			for _, reg := range regions {
+				switch r.Intn(5) {
+				case 0:
+					d.In = append(d.In, reg)
+				case 1:
+					d.InOut = append(d.InOut, reg)
+				}
+			}
+			g.Add("t", d)
+		}
+		if g.CheckAcyclic() != nil {
+			return false
+		}
+		cp := g.CriticalPath()
+		work := g.TotalWork()
+		for _, w := range []int{1, 2, 4, 16} {
+			m := g.Makespan(w)
+			if m < cp {
+				return false // beat the critical path: impossible
+			}
+			if w == 1 && m != work {
+				return false
+			}
+			lower := work / sim.Time(w)
+			if m < lower {
+				return false
+			}
+			// Graham bound: m <= work/w + cp.
+			if m > work/sim.Time(w)+cp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanMoreWorkersNeverSlower(t *testing.T) {
+	r := rng.New(99)
+	g := NewGraphBuilder()
+	regions := make([]any, 4)
+	for i := range regions {
+		regions[i] = new(int)
+	}
+	for i := 0; i < 60; i++ {
+		var d Deps
+		d.Cost = sim.Time(r.Intn(50)+1) * sim.Nanosecond
+		if r.Bool(0.5) {
+			d.In = append(d.In, regions[r.Intn(4)])
+		}
+		if r.Bool(0.4) {
+			d.InOut = append(d.InOut, regions[r.Intn(4)])
+		}
+		g.Add("t", d)
+	}
+	prev := g.Makespan(1)
+	for _, w := range []int{2, 4, 8, 32} {
+		m := g.Makespan(w)
+		// List scheduling anomalies can make more workers slower in
+		// theory; with priority=0 FIFO order on these graphs it stays
+		// monotone. Allow a small tolerance.
+		if float64(m) > float64(prev)*1.05 {
+			t.Fatalf("makespan rose from %v to %v at %d workers", prev, m, w)
+		}
+		prev = m
+	}
+}
+
+func TestMakespanPanicsWithoutWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Makespan(0) accepted")
+		}
+	}()
+	independentGraph(3, sim.Microsecond).Makespan(0)
+}

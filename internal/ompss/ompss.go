@@ -1,0 +1,380 @@
+// Package ompss implements the task-based dataflow runtime that plays
+// the role of OmpSs (Mercurium + Nanos++) in the DEEP software stack:
+// tasks declare input/output/inout dependences on data regions, the
+// runtime derives the task graph and executes it on a worker pool,
+// "decoupling how we write (think sequential) from how it is executed"
+// (paper slide 23).
+//
+// The pragma front-end of OmpSs is replaced by an explicit API: the
+// paper's
+//
+//	#pragma omp task input([TS][TS]A, [TS][TS]B) inout([TS][TS]C)
+//	void sgemm(float *A, float *B, float *C);
+//
+// becomes
+//
+//	rt.Submit("sgemm", func() { linalg.Gemm(a, b, c) },
+//	    ompss.Deps{In: []any{a, b}, InOut: []any{c}})
+//
+// Dependence semantics follow OmpSs/OpenMP: a task reading a region
+// depends on the region's last writer; a task writing a region depends
+// on the last writer and on every reader submitted since (serialising
+// write-after-read), then becomes the new last writer.
+package ompss
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Deps declares a task's data dependences and scheduling attributes.
+type Deps struct {
+	// In regions are read; Out regions are overwritten; InOut both.
+	// Regions are arbitrary comparable keys — typically pointers to the
+	// data blocks the task touches.
+	In, Out, InOut []any
+	// Priority biases the priority scheduler (higher runs earlier).
+	Priority int
+	// Cost is the modelled execution time used by virtual-time
+	// makespan analysis; it does not affect real execution.
+	Cost sim.Time
+	// Device names the execution target ("" or "smp" run locally; other
+	// names dispatch to an executor registered with WithDeviceExecutor,
+	// e.g. "booster" for the offload layer).
+	Device string
+}
+
+// Task is one node of the dataflow graph.
+type Task struct {
+	ID       int
+	Name     string
+	Priority int
+	Cost     sim.Time
+	Device   string
+
+	fn func()
+
+	mu      sync.Mutex
+	pending int     // unresolved predecessors
+	succ    []*Task // successors to notify on completion
+	done    bool
+	doneC   chan struct{} // closed on completion
+
+	// NumPreds records the in-degree at submission, for analysis.
+	NumPreds int
+}
+
+// Executor runs tasks for one device kind. The runtime's worker calls
+// it synchronously; it must execute the task's function (or an
+// equivalent remote computation) before returning.
+type Executor func(t *Task, run func())
+
+// Runtime is an OmpSs-style task execution engine. Create with New,
+// submit tasks, synchronise with Taskwait, and release the workers
+// with Shutdown.
+type Runtime struct {
+	mu         sync.Mutex
+	cond       *sync.Cond // outstanding == 0 signalling
+	sched      Scheduler
+	schedCond  *sync.Cond // ready-queue signalling
+	lastWriter map[any]*Task
+	readers    map[any][]*Task
+	executors  map[string]Executor
+
+	outstanding int
+	nextID      int
+	shutdown    bool
+	workers     int
+	tracer      *Tracer
+
+	stats Stats
+	// keep all tasks for graph analysis when recording is enabled
+	record bool
+	all    []*Task
+}
+
+// Stats summarises a runtime's execution.
+type Stats struct {
+	Submitted int
+	Executed  int
+	Edges     int
+	// MaxReady is the high-water mark of the ready queue, a lower
+	// bound on exploitable parallelism.
+	MaxReady int
+	ByName   map[string]int
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithScheduler selects the ready-task scheduling policy (default
+// FIFO).
+func WithScheduler(s Scheduler) Option {
+	return func(r *Runtime) { r.sched = s }
+}
+
+// WithDeviceExecutor registers an executor for tasks whose Deps.Device
+// equals name.
+func WithDeviceExecutor(name string, e Executor) Option {
+	return func(r *Runtime) { r.executors[name] = e }
+}
+
+// WithRecording keeps every submitted task for graph analysis
+// (Tasks, CheckAcyclic, SimulateMakespan).
+func WithRecording() Option {
+	return func(r *Runtime) { r.record = true }
+}
+
+// New returns a runtime with the given number of worker goroutines.
+func New(workers int, opts ...Option) *Runtime {
+	if workers < 1 {
+		panic(fmt.Sprintf("ompss: %d workers", workers))
+	}
+	r := &Runtime{
+		lastWriter: make(map[any]*Task),
+		readers:    make(map[any][]*Task),
+		executors:  make(map[string]Executor),
+		workers:    workers,
+	}
+	r.stats.ByName = make(map[string]int)
+	r.cond = sync.NewCond(&r.mu)
+	r.schedCond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	if r.sched == nil {
+		r.sched = NewFIFO()
+	}
+	for i := 0; i < workers; i++ {
+		go r.worker(i)
+	}
+	return r
+}
+
+// Workers returns the pool size.
+func (r *Runtime) Workers() int { return r.workers }
+
+// Submit registers a task with the given dependences. It never blocks:
+// the task runs as soon as its predecessors finish and a worker is
+// free. Submit may be called from inside a running task (nested
+// parallelism).
+func (r *Runtime) Submit(name string, fn func(), d Deps) *Task {
+	r.mu.Lock()
+	if r.shutdown {
+		r.mu.Unlock()
+		panic("ompss: Submit after Shutdown")
+	}
+	t := &Task{
+		ID:       r.nextID,
+		Name:     name,
+		Priority: d.Priority,
+		Cost:     d.Cost,
+		Device:   d.Device,
+		fn:       fn,
+		doneC:    make(chan struct{}),
+	}
+	r.nextID++
+	r.outstanding++
+	r.stats.Submitted++
+	r.stats.ByName[name]++
+	if r.record {
+		r.all = append(r.all, t)
+	}
+
+	addDep := func(pred *Task) {
+		if pred == nil || pred == t {
+			return
+		}
+		pred.mu.Lock()
+		predDone := pred.done
+		if !predDone {
+			pred.succ = append(pred.succ, t)
+		}
+		pred.mu.Unlock()
+		if !predDone {
+			t.pending++
+			r.stats.Edges++
+			t.NumPreds++
+		}
+	}
+
+	for _, reg := range d.In {
+		addDep(r.lastWriter[reg])
+		r.readers[reg] = append(r.readers[reg], t)
+	}
+	writes := make([]any, 0, len(d.Out)+len(d.InOut))
+	writes = append(writes, d.Out...)
+	writes = append(writes, d.InOut...)
+	for _, reg := range d.InOut {
+		addDep(r.lastWriter[reg])
+	}
+	for _, reg := range d.Out {
+		addDep(r.lastWriter[reg])
+	}
+	for _, reg := range writes {
+		for _, reader := range r.readers[reg] {
+			addDep(reader)
+		}
+		r.readers[reg] = nil
+		r.lastWriter[reg] = t
+		if containsRegion(d.InOut, reg) {
+			// An inout also reads: future writers must wait for it.
+			r.readers[reg] = append(r.readers[reg], t)
+		}
+	}
+
+	if t.pending == 0 {
+		r.pushReadyLocked(t)
+	}
+	r.mu.Unlock()
+	return t
+}
+
+func containsRegion(regs []any, reg any) bool {
+	for _, r := range regs {
+		if r == reg {
+			return true
+		}
+	}
+	return false
+}
+
+// pushReadyLocked enqueues a ready task; caller holds r.mu.
+func (r *Runtime) pushReadyLocked(t *Task) {
+	r.sched.Push(t)
+	if n := r.sched.Len(); n > r.stats.MaxReady {
+		r.stats.MaxReady = n
+	}
+	r.schedCond.Signal()
+}
+
+func (r *Runtime) worker(id int) {
+	for {
+		r.mu.Lock()
+		for r.sched.Len() == 0 && !r.shutdown {
+			r.schedCond.Wait()
+		}
+		if r.shutdown && r.sched.Len() == 0 {
+			r.mu.Unlock()
+			return
+		}
+		t := r.sched.Pop()
+		r.mu.Unlock()
+		r.execute(t, id)
+	}
+}
+
+func (r *Runtime) execute(t *Task, worker int) {
+	run := t.fn
+	if run == nil {
+		run = func() {}
+	}
+	var began time.Time
+	if r.tracer != nil {
+		began = time.Now()
+	}
+	if ex, ok := r.executors[t.Device]; ok && t.Device != "" && t.Device != "smp" {
+		ex(t, run)
+	} else {
+		run()
+	}
+	if r.tracer != nil {
+		r.tracer.record(t.Name, t.ID, worker, began, time.Now())
+	}
+	// Mark done and release successors.
+	t.mu.Lock()
+	t.done = true
+	succ := t.succ
+	t.succ = nil
+	t.mu.Unlock()
+	close(t.doneC)
+	r.mu.Lock()
+	for _, s := range succ {
+		s.pending--
+		if s.pending == 0 {
+			r.pushReadyLocked(s)
+		}
+	}
+	r.outstanding--
+	r.stats.Executed++
+	if r.outstanding == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// Taskwait blocks until every task submitted so far (including tasks
+// they spawned) has completed. Call it from the submitting goroutine,
+// not from inside a task: a task blocking in Taskwait occupies its
+// worker and with a single-worker pool would deadlock.
+func (r *Runtime) Taskwait() {
+	r.mu.Lock()
+	for r.outstanding > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// Wait blocks until the task has completed.
+func (t *Task) Wait() { <-t.doneC }
+
+// Done reports whether the task has completed without blocking.
+func (t *Task) Done() bool {
+	select {
+	case <-t.doneC:
+		return true
+	default:
+		return false
+	}
+}
+
+// TaskwaitOn blocks until the current last writer of every given
+// region has completed — the OmpSs "taskwait on(...)" clause. Unlike
+// Taskwait it does not drain the whole runtime, so producers of other
+// regions keep running.
+func (r *Runtime) TaskwaitOn(regions ...any) {
+	r.mu.Lock()
+	writers := make([]*Task, 0, len(regions))
+	for _, reg := range regions {
+		if w := r.lastWriter[reg]; w != nil {
+			writers = append(writers, w)
+		}
+	}
+	r.mu.Unlock()
+	for _, w := range writers {
+		w.Wait()
+	}
+}
+
+// Shutdown waits for completion and stops the workers. The runtime
+// cannot be used afterwards.
+func (r *Runtime) Shutdown() {
+	r.Taskwait()
+	r.mu.Lock()
+	r.shutdown = true
+	r.schedCond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of execution statistics.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	byName := make(map[string]int, len(s.ByName))
+	for k, v := range s.ByName {
+		byName[k] = v
+	}
+	s.ByName = byName
+	return s
+}
+
+// Tasks returns the recorded tasks (WithRecording only).
+func (r *Runtime) Tasks() []*Task {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Task(nil), r.all...)
+}

@@ -1,0 +1,382 @@
+package ompss
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestSingleTaskRuns(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	var ran int32
+	rt.Submit("t", func() { atomic.AddInt32(&ran, 1) }, Deps{})
+	rt.Taskwait()
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestRAWDependence(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	region := new(int)
+	var order []string
+	var mu sync.Mutex
+	mark := func(s string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	rt.Submit("writer", mark("w"), Deps{Out: []any{region}})
+	rt.Submit("reader1", mark("r1"), Deps{In: []any{region}})
+	rt.Submit("reader2", mark("r2"), Deps{In: []any{region}})
+	rt.Taskwait()
+	if len(order) != 3 || order[0] != "w" {
+		t.Fatalf("order = %v, want writer first", order)
+	}
+}
+
+func TestWARDependence(t *testing.T) {
+	// A writer after readers must wait for all of them.
+	rt := New(4)
+	defer rt.Shutdown()
+	region := new(int)
+	var readersDone int32
+	var writerSawReaders int32
+	rt.Submit("w0", func() {}, Deps{Out: []any{region}})
+	for i := 0; i < 3; i++ {
+		rt.Submit("r", func() {
+			atomic.AddInt32(&readersDone, 1)
+		}, Deps{In: []any{region}})
+	}
+	rt.Submit("w1", func() {
+		writerSawReaders = atomic.LoadInt32(&readersDone)
+	}, Deps{Out: []any{region}})
+	rt.Taskwait()
+	if writerSawReaders != 3 {
+		t.Fatalf("writer ran after %d of 3 readers", writerSawReaders)
+	}
+}
+
+func TestWAWSerialises(t *testing.T) {
+	rt := New(8)
+	defer rt.Shutdown()
+	region := new(int)
+	val := 0 // only touched by serialised writers
+	const n = 50
+	for i := 0; i < n; i++ {
+		rt.Submit("w", func() { val++ }, Deps{InOut: []any{region}})
+	}
+	rt.Taskwait()
+	if val != n {
+		t.Fatalf("val = %d, want %d (writers raced)", val, n)
+	}
+}
+
+func TestInOutChainsAreSequential(t *testing.T) {
+	rt := New(8)
+	defer rt.Shutdown()
+	region := new(int)
+	var seq []int
+	for i := 0; i < 20; i++ {
+		i := i
+		rt.Submit("step", func() { seq = append(seq, i) }, Deps{InOut: []any{region}})
+	}
+	rt.Taskwait()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("sequence broken at %d: %v", i, seq)
+		}
+	}
+}
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	var peak, cur int32
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		rt.Submit("free", func() {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			wg.Done()
+			<-gate // hold all four until everyone arrived
+			atomic.AddInt32(&cur, -1)
+		}, Deps{})
+	}
+	wg.Wait()
+	close(gate)
+	rt.Taskwait()
+	if peak != 4 {
+		t.Fatalf("peak concurrency %d, want 4", peak)
+	}
+}
+
+func TestNestedSubmission(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	var leaves int32
+	rt.Submit("parent", func() {
+		for i := 0; i < 5; i++ {
+			rt.Submit("leaf", func() { atomic.AddInt32(&leaves, 1) }, Deps{})
+		}
+	}, Deps{})
+	rt.Taskwait()
+	if leaves != 5 {
+		t.Fatalf("leaves = %d", leaves)
+	}
+}
+
+func TestDeviceExecutorDispatch(t *testing.T) {
+	var offloaded int32
+	rt := New(2, WithDeviceExecutor("booster", func(task *Task, run func()) {
+		atomic.AddInt32(&offloaded, 1)
+		run()
+	}))
+	defer rt.Shutdown()
+	var ran int32
+	rt.Submit("kernel", func() { atomic.AddInt32(&ran, 1) }, Deps{Device: "booster"})
+	rt.Submit("local", func() { atomic.AddInt32(&ran, 1) }, Deps{Device: "smp"})
+	rt.Taskwait()
+	if offloaded != 1 {
+		t.Fatalf("offloaded = %d", offloaded)
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	region := new(int)
+	rt.Submit("a", func() {}, Deps{Out: []any{region}})
+	rt.Submit("b", func() {}, Deps{In: []any{region}})
+	rt.Taskwait()
+	s := rt.Stats()
+	if s.Submitted != 2 || s.Executed != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Edges != 1 {
+		t.Fatalf("edges = %d", s.Edges)
+	}
+	if s.ByName["a"] != 1 || s.ByName["b"] != 1 {
+		t.Fatalf("by-name %v", s.ByName)
+	}
+}
+
+func TestSubmitAfterShutdownPanics(t *testing.T) {
+	rt := New(1)
+	rt.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Shutdown accepted")
+		}
+	}()
+	rt.Submit("late", func() {}, Deps{})
+}
+
+func TestSchedulers(t *testing.T) {
+	mk := func(id, prio int) *Task { return &Task{ID: id, Priority: prio} }
+	t.Run("fifo", func(t *testing.T) {
+		s := NewFIFO()
+		s.Push(mk(1, 0))
+		s.Push(mk(2, 9))
+		s.Push(mk(3, 5))
+		if s.Pop().ID != 1 || s.Pop().ID != 2 || s.Pop().ID != 3 {
+			t.Fatal("FIFO order broken")
+		}
+		if s.Pop() != nil {
+			t.Fatal("empty pop should be nil")
+		}
+	})
+	t.Run("lifo", func(t *testing.T) {
+		s := NewLIFO()
+		s.Push(mk(1, 0))
+		s.Push(mk(2, 0))
+		if s.Pop().ID != 2 || s.Pop().ID != 1 {
+			t.Fatal("LIFO order broken")
+		}
+	})
+	t.Run("priority", func(t *testing.T) {
+		s := NewPriority()
+		s.Push(mk(1, 1))
+		s.Push(mk(2, 9))
+		s.Push(mk(3, 9))
+		s.Push(mk(4, 0))
+		want := []int{2, 3, 1, 4} // prio desc, ties by id
+		for _, w := range want {
+			if got := s.Pop().ID; got != w {
+				t.Fatalf("priority order: got %d, want %d", got, w)
+			}
+		}
+	})
+}
+
+func TestPrioritySchedulerAffectsOrder(t *testing.T) {
+	rt := New(1, WithScheduler(NewPriority()))
+	defer rt.Shutdown()
+	var order []int
+	var mu sync.Mutex
+	block := make(chan struct{})
+	// First task blocks the single worker so the rest queue up.
+	rt.Submit("gate", func() { <-block }, Deps{})
+	for i := 0; i < 4; i++ {
+		i := i
+		rt.Submit("t", func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}, Deps{Priority: i})
+	}
+	close(block)
+	rt.Taskwait()
+	want := []int{3, 2, 1, 0}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRandomGraphSerialisability: execute a random task graph where
+// every task performs reads/writes on shared cells; the result must
+// equal sequential execution. This is the core OmpSs correctness
+// property ("think sequential").
+func TestRandomGraphSerialisability(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const cells = 6
+		const ntasks = 60
+		type op struct {
+			in, out []int
+		}
+		ops := make([]op, ntasks)
+		for i := range ops {
+			var o op
+			for c := 0; c < cells; c++ {
+				switch r.Intn(4) {
+				case 0:
+					o.in = append(o.in, c)
+				case 1:
+					o.out = append(o.out, c)
+				}
+			}
+			ops[i] = o
+		}
+		apply := func(state []int64, i int, o op) {
+			sum := int64(i + 1)
+			for _, c := range o.in {
+				sum += state[c]
+			}
+			for _, c := range o.out {
+				state[c] = state[c]*3 + sum
+			}
+		}
+		// Sequential reference.
+		ref := make([]int64, cells)
+		for i, o := range ops {
+			apply(ref, i, o)
+		}
+		// Parallel execution with dependence tracking.
+		got := make([]int64, cells)
+		regions := make([]any, cells)
+		for c := range regions {
+			regions[c] = new(int)
+		}
+		rt := New(4)
+		for i, o := range ops {
+			i, o := i, o
+			var d Deps
+			for _, c := range o.in {
+				d.In = append(d.In, regions[c])
+			}
+			for _, c := range o.out {
+				d.InOut = append(d.InOut, regions[c])
+			}
+			rt.Submit("op", func() { apply(got, i, o) }, d)
+		}
+		rt.Shutdown()
+		for c := range ref {
+			if ref[c] != got[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxReadyTracksParallelism(t *testing.T) {
+	rt := New(1)
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	rt.Submit("gate", func() { <-gate }, Deps{})
+	for i := 0; i < 10; i++ {
+		rt.Submit("free", func() {}, Deps{})
+	}
+	close(gate)
+	rt.Taskwait()
+	if s := rt.Stats(); s.MaxReady < 10 {
+		t.Fatalf("MaxReady = %d, want >= 10", s.MaxReady)
+	}
+}
+
+func TestCostAndTimePlumbing(t *testing.T) {
+	rt := New(1, WithRecording())
+	defer rt.Shutdown()
+	rt.Submit("k", func() {}, Deps{Cost: 5 * sim.Microsecond, Priority: 3})
+	rt.Taskwait()
+	tasks := rt.Tasks()
+	if len(tasks) != 1 || tasks[0].Cost != 5*sim.Microsecond || tasks[0].Priority != 3 {
+		t.Fatalf("recorded task %+v", tasks[0])
+	}
+}
+
+func TestNewPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) accepted")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkSubmitExecute(b *testing.B) {
+	rt := New(4)
+	defer rt.Shutdown()
+	region := new(int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit("t", func() {}, Deps{InOut: []any{region}})
+	}
+	rt.Taskwait()
+}
+
+func ExampleRuntime_Submit() {
+	rt := New(2)
+	defer rt.Shutdown()
+	a, b := new(int), new(int)
+	rt.Submit("produce", func() { *a = 21 }, Deps{Out: []any{a}})
+	rt.Submit("transform", func() { *b = *a * 2 }, Deps{In: []any{a}, Out: []any{b}})
+	rt.Taskwait()
+	fmt.Println(*b)
+	// Output: 42
+}

@@ -1,0 +1,108 @@
+package ompss
+
+import "container/heap"
+
+// Scheduler orders the ready queue. Implementations are called with
+// the runtime lock held and must not block.
+type Scheduler interface {
+	Push(*Task)
+	Pop() *Task // nil when empty
+	Len() int
+}
+
+// FIFO runs ready tasks in submission order — the breadth-first
+// default of Nanos++.
+type FIFO struct {
+	q []*Task
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push implements Scheduler.
+func (f *FIFO) Push(t *Task) { f.q = append(f.q, t) }
+
+// Pop implements Scheduler.
+func (f *FIFO) Pop() *Task {
+	if len(f.q) == 0 {
+		return nil
+	}
+	t := f.q[0]
+	copy(f.q, f.q[1:])
+	f.q[len(f.q)-1] = nil
+	f.q = f.q[:len(f.q)-1]
+	return t
+}
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// LIFO runs the most recently readied task first — depth-first, which
+// keeps the working set hot for cache-friendly task chains.
+type LIFO struct {
+	q []*Task
+}
+
+// NewLIFO returns an empty LIFO scheduler.
+func NewLIFO() *LIFO { return &LIFO{} }
+
+// Push implements Scheduler.
+func (l *LIFO) Push(t *Task) { l.q = append(l.q, t) }
+
+// Pop implements Scheduler.
+func (l *LIFO) Pop() *Task {
+	if len(l.q) == 0 {
+		return nil
+	}
+	t := l.q[len(l.q)-1]
+	l.q[len(l.q)-1] = nil
+	l.q = l.q[:len(l.q)-1]
+	return t
+}
+
+// Len implements Scheduler.
+func (l *LIFO) Len() int { return len(l.q) }
+
+// Priority runs the highest-priority ready task first, breaking ties
+// by submission order. The tiled Cholesky uses it to favour the
+// critical-path potrf/trsm tasks.
+type Priority struct {
+	h prioHeap
+}
+
+// NewPriority returns an empty priority scheduler.
+func NewPriority() *Priority { return &Priority{} }
+
+// Push implements Scheduler.
+func (p *Priority) Push(t *Task) { heap.Push(&p.h, t) }
+
+// Pop implements Scheduler.
+func (p *Priority) Pop() *Task {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(*Task)
+}
+
+// Len implements Scheduler.
+func (p *Priority) Len() int { return p.h.Len() }
+
+type prioHeap []*Task
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,77 @@
+package ompss
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskWaitAndDone(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	task := rt.Submit("gated", func() { <-gate }, Deps{})
+	if task.Done() {
+		t.Fatal("task done before gate opened")
+	}
+	close(gate)
+	task.Wait()
+	if !task.Done() {
+		t.Fatal("task not done after Wait")
+	}
+}
+
+func TestTaskwaitOnWaitsForWriter(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	region := new(int)
+	var wrote int32
+	gate := make(chan struct{})
+	rt.Submit("writer", func() {
+		<-gate
+		atomic.StoreInt32(&wrote, 1)
+	}, Deps{Out: []any{region}})
+	done := make(chan struct{})
+	go func() {
+		rt.TaskwaitOn(region)
+		if atomic.LoadInt32(&wrote) != 1 {
+			t.Error("TaskwaitOn returned before the writer finished")
+		}
+		close(done)
+	}()
+	close(gate)
+	<-done
+}
+
+func TestTaskwaitOnDoesNotDrainOtherRegions(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	fast, slow := new(int), new(int)
+	slowGate := make(chan struct{})
+	rt.Submit("slow", func() { <-slowGate }, Deps{Out: []any{slow}})
+	rt.Submit("fast", func() {}, Deps{Out: []any{fast}})
+	// Waiting on the fast region must not require the slow task.
+	rt.TaskwaitOn(fast)
+	close(slowGate) // only now release the slow task
+	rt.Taskwait()
+}
+
+func TestTaskwaitOnUnknownRegionReturnsImmediately(t *testing.T) {
+	rt := New(1)
+	defer rt.Shutdown()
+	rt.TaskwaitOn(new(int)) // nothing ever wrote it
+}
+
+func TestTaskwaitOnChain(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	region := new(int)
+	val := 0
+	for i := 0; i < 10; i++ {
+		rt.Submit("inc", func() { val++ }, Deps{InOut: []any{region}})
+	}
+	// The last writer transitively requires the whole chain.
+	rt.TaskwaitOn(region)
+	if val != 10 {
+		t.Fatalf("val = %d after TaskwaitOn", val)
+	}
+}

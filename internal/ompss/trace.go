@@ -1,0 +1,129 @@
+package ompss
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records the real execution timeline of a runtime: which
+// worker ran which task when. It is the reproduction's stand-in for
+// the Paraver/Extrae tracing the OmpSs toolchain ships with, and
+// exports the Chrome trace-event format so timelines are viewable in
+// any chromium-based browser (chrome://tracing).
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []TraceEvent
+}
+
+// TraceEvent is one executed task instance.
+type TraceEvent struct {
+	Name   string
+	Task   int // Task.ID
+	Worker int
+	Start  time.Duration // since tracing began
+	End    time.Duration
+}
+
+// NewTracer returns a tracer anchored at the current time.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// WithTracer attaches a tracer to the runtime; every executed task is
+// recorded with its worker and wall-clock interval.
+func WithTracer(tr *Tracer) Option {
+	return func(r *Runtime) { r.tracer = tr }
+}
+
+func (tr *Tracer) record(name string, task, worker int, start, end time.Time) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, TraceEvent{
+		Name:   name,
+		Task:   task,
+		Worker: worker,
+		Start:  start.Sub(tr.start),
+		End:    end.Sub(tr.start),
+	})
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, ordered by start time.
+func (tr *Tracer) Events() []TraceEvent {
+	tr.mu.Lock()
+	out := append([]TraceEvent(nil), tr.events...)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Summary aggregates the timeline.
+type TraceSummary struct {
+	// Span is the wall time from the first task start to the last end.
+	Span time.Duration
+	// BusyByWorker maps worker id to its total task execution time.
+	BusyByWorker map[int]time.Duration
+	// TimeByName maps task name to cumulative execution time.
+	TimeByName map[string]time.Duration
+	// Tasks is the event count.
+	Tasks int
+}
+
+// Summarize computes a TraceSummary over the recorded events.
+func (tr *Tracer) Summarize() TraceSummary {
+	events := tr.Events()
+	s := TraceSummary{
+		BusyByWorker: make(map[int]time.Duration),
+		TimeByName:   make(map[string]time.Duration),
+		Tasks:        len(events),
+	}
+	if len(events) == 0 {
+		return s
+	}
+	first, last := events[0].Start, events[0].End
+	for _, e := range events {
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		d := e.End - e.Start
+		s.BusyByWorker[e.Worker] += d
+		s.TimeByName[e.Name] += d
+	}
+	s.Span = last - first
+	return s
+}
+
+// chromeEvent is the trace-event-format record (phase "X": complete
+// event with duration, microsecond units).
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+// WriteChromeTrace emits the timeline as a Chrome trace-event JSON
+// array, one complete event per task, worker id as thread id.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name: fmt.Sprintf("%s#%d", e.Name, e.Task),
+			Ph:   "X",
+			Ts:   e.Start.Microseconds(),
+			Dur:  (e.End - e.Start).Microseconds(),
+			Pid:  0,
+			Tid:  e.Worker,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,127 @@
+package ompss
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsAllTasks(t *testing.T) {
+	tr := NewTracer()
+	rt := New(2, WithTracer(tr))
+	region := new(int)
+	for i := 0; i < 10; i++ {
+		rt.Submit("step", func() { time.Sleep(100 * time.Microsecond) },
+			Deps{InOut: []any{region}})
+	}
+	rt.Shutdown()
+	events := tr.Events()
+	if len(events) != 10 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// A serial chain must not overlap in time.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].End {
+			t.Fatalf("serialised tasks overlap: %v then %v", events[i-1], events[i])
+		}
+	}
+}
+
+func TestTracerWorkersIdentified(t *testing.T) {
+	tr := NewTracer()
+	rt := New(4, WithTracer(tr))
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(4)
+	for i := 0; i < 4; i++ {
+		rt.Submit("block", func() {
+			started.Done()
+			<-gate
+		}, Deps{})
+	}
+	started.Wait() // all four workers now hold a task
+	close(gate)
+	rt.Shutdown()
+	workers := map[int]bool{}
+	for _, e := range tr.Events() {
+		workers[e.Worker] = true
+	}
+	if len(workers) != 4 {
+		t.Fatalf("tasks ran on %d workers, want 4", len(workers))
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := NewTracer()
+	rt := New(2, WithTracer(tr))
+	rt.Submit("a", func() { time.Sleep(200 * time.Microsecond) }, Deps{})
+	rt.Submit("b", func() { time.Sleep(100 * time.Microsecond) }, Deps{})
+	rt.Shutdown()
+	s := tr.Summarize()
+	if s.Tasks != 2 {
+		t.Fatalf("tasks = %d", s.Tasks)
+	}
+	if s.TimeByName["a"] < 200*time.Microsecond {
+		t.Fatalf("task a time %v", s.TimeByName["a"])
+	}
+	if s.Span <= 0 {
+		t.Fatalf("span %v", s.Span)
+	}
+	var busy time.Duration
+	for _, d := range s.BusyByWorker {
+		busy += d
+	}
+	if busy < 300*time.Microsecond {
+		t.Fatalf("aggregate busy %v", busy)
+	}
+}
+
+func TestTraceSummaryEmpty(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Summarize()
+	if s.Tasks != 0 || s.Span != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	rt := New(2, WithTracer(tr))
+	region := new(int)
+	rt.Submit("produce", func() {}, Deps{Out: []any{region}})
+	rt.Submit("consume", func() {}, Deps{In: []any{region}})
+	rt.Shutdown()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("chrome events = %d", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("phase %v", e["ph"])
+		}
+		if _, ok := e["ts"]; !ok {
+			t.Fatal("missing ts")
+		}
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Runtimes without a tracer must still work (nil checks).
+	rt := New(2)
+	defer rt.Shutdown()
+	done := false
+	rt.Submit("t", func() { done = true }, Deps{})
+	rt.Taskwait()
+	if !done {
+		t.Fatal("task did not run")
+	}
+}

@@ -1,0 +1,192 @@
+package resource
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Job is one unit of scheduled work: it needs Boosters booster nodes
+// for Duration once started. In static mode the job may only use the
+// boosters owned by its Owner (the cluster node it runs on); in
+// dynamic mode it draws from the whole pool.
+type Job struct {
+	ID       int
+	Arrival  sim.Time
+	Boosters int
+	Duration sim.Time
+	// Owner is the cluster-node group for static assignment.
+	Owner int
+
+	// Results, filled by the scheduler.
+	Start sim.Time
+	End   sim.Time
+	nodes []int
+}
+
+// Wait returns the job's queueing delay.
+func (j *Job) Wait() sim.Time { return j.Start - j.Arrival }
+
+// AssignMode selects the paper's two assignment schemes.
+type AssignMode int
+
+// Assignment modes (paper slide 8: "static and dynamical assignment
+// possible").
+const (
+	// Static binds each job to its owner's fixed accelerator group —
+	// the conventional accelerated-cluster wiring.
+	Static AssignMode = iota
+	// Dynamic draws from the global booster pool.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (m AssignMode) String() string {
+	if m == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Scheduler runs jobs through a pool in virtual time: FCFS with
+// optional EASY backfilling (a smaller job may jump the queue if it
+// fits in the currently free nodes while the head job waits).
+type Scheduler struct {
+	Eng      *sim.Engine
+	Pool     *Pool
+	Mode     AssignMode
+	Policy   Policy
+	Backfill bool
+
+	queue     []*Job
+	completed []*Job
+	busyArea  float64 // node-seconds of booster use
+}
+
+// NewScheduler returns a scheduler over the pool.
+func NewScheduler(eng *sim.Engine, pool *Pool, mode AssignMode) *Scheduler {
+	return &Scheduler{Eng: eng, Pool: pool, Mode: mode, Policy: FirstFit}
+}
+
+// Submit schedules the job's arrival.
+func (s *Scheduler) Submit(j *Job) {
+	if j.Boosters <= 0 || j.Duration <= 0 {
+		panic(fmt.Sprintf("resource: job %d with %d boosters for %v", j.ID, j.Boosters, j.Duration))
+	}
+	s.Eng.At(j.Arrival, func() {
+		s.queue = append(s.queue, j)
+		s.dispatch()
+	})
+}
+
+// tryAlloc attempts to start job j now.
+func (s *Scheduler) tryAlloc(j *Job) bool {
+	var ids []int
+	var err error
+	switch s.Mode {
+	case Static:
+		want := j.Boosters
+		if own := s.Pool.OwnedTotal(j.Owner); want > own {
+			// The job cannot ever get more than its owner's group; it
+			// runs with what the group has (the static penalty).
+			want = own
+		}
+		if want == 0 {
+			// No accelerators at all: the job runs unaccelerated for a
+			// stretched duration; model as 1-node-equivalent busy with
+			// no pool usage.
+			j.Start = s.Eng.Now()
+			dur := stretch(j.Duration, j.Boosters, 1)
+			s.finishAt(j, dur)
+			return true
+		}
+		ids, err = s.Pool.AllocOwned(j.Owner, want)
+	default:
+		ids, err = s.Pool.Alloc(j.Boosters, s.Policy)
+	}
+	if err != nil {
+		return false
+	}
+	j.nodes = ids
+	j.Start = s.Eng.Now()
+	dur := stretch(j.Duration, j.Boosters, len(ids))
+	s.busyArea += float64(len(ids)) * dur.Seconds()
+	s.finishAt(j, dur)
+	return true
+}
+
+func (s *Scheduler) finishAt(j *Job, dur sim.Time) {
+	s.Eng.After(dur, func() {
+		j.End = s.Eng.Now()
+		if j.nodes != nil {
+			s.Pool.Release(j.nodes)
+		}
+		s.completed = append(s.completed, j)
+		s.dispatch()
+	})
+}
+
+// stretch scales the nominal duration when a job runs on fewer
+// boosters than it wants: perfectly divisible work is assumed.
+func stretch(d sim.Time, want, got int) sim.Time {
+	if got >= want {
+		return d
+	}
+	return sim.Time(float64(d) * float64(want) / float64(got))
+}
+
+// dispatch starts every queued job it can, honouring FCFS order with
+// optional backfilling.
+func (s *Scheduler) dispatch() {
+	i := 0
+	for i < len(s.queue) {
+		j := s.queue[i]
+		if s.tryAlloc(j) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			continue
+		}
+		if !s.Backfill {
+			return // strict FCFS: head blocks the queue
+		}
+		i++ // backfill: try the next job
+	}
+}
+
+// Completed returns the finished jobs.
+func (s *Scheduler) Completed() []*Job { return s.completed }
+
+// QueueLen returns the number of waiting jobs.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Makespan returns the latest completion time.
+func (s *Scheduler) Makespan() sim.Time {
+	var m sim.Time
+	for _, j := range s.completed {
+		if j.End > m {
+			m = j.End
+		}
+	}
+	return m
+}
+
+// Utilisation returns booster node-seconds used divided by
+// (pool size x makespan).
+func (s *Scheduler) Utilisation() float64 {
+	m := s.Makespan()
+	if m == 0 {
+		return 0
+	}
+	return s.busyArea / (float64(s.Pool.Size()) * m.Seconds())
+}
+
+// MeanWait returns the average queueing delay of completed jobs.
+func (s *Scheduler) MeanWait() sim.Time {
+	if len(s.completed) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, j := range s.completed {
+		sum += j.Wait()
+	}
+	return sum / sim.Time(len(s.completed))
+}

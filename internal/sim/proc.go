@@ -1,0 +1,147 @@
+package sim
+
+// This file provides light-weight process-style helpers on top of the
+// raw event heap: sequential activities, resources with FIFO queueing,
+// and a completion latch. They are what the fabric and node models are
+// written against.
+
+// Resource models a unit-capacity server with FIFO queueing (a link, a
+// DMA engine, a PCIe bus). Acquire requests are granted in request
+// order; each grant holds the resource for a caller-specified service
+// time, after which the next waiter is granted.
+type Resource struct {
+	eng  *Engine
+	name string
+	busy bool
+	// queue of pending acquisitions.
+	waiters []waiter
+	// BusyTime accumulates total time the resource was occupied, for
+	// utilisation statistics.
+	BusyTime Time
+	// Grants counts completed service periods.
+	Grants uint64
+}
+
+type waiter struct {
+	service Time
+	fn      func(start, end Time)
+}
+
+// NewResource returns an idle resource bound to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is currently serving a request.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire requests the resource for the given service time. When the
+// request is granted and the service time has elapsed, done is invoked
+// with the service start and end times. Acquire never blocks; it is
+// event-driven.
+func (r *Resource) Acquire(service Time, done func(start, end Time)) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	r.waiters = append(r.waiters, waiter{service: service, fn: done})
+	if !r.busy {
+		r.startNext()
+	}
+}
+
+func (r *Resource) startNext() {
+	if len(r.waiters) == 0 {
+		r.busy = false
+		return
+	}
+	w := r.waiters[0]
+	copy(r.waiters, r.waiters[1:])
+	r.waiters = r.waiters[:len(r.waiters)-1]
+	r.busy = true
+	start := r.eng.Now()
+	end := start + w.service
+	r.BusyTime += w.service
+	r.Grants++
+	r.eng.At(end, func() {
+		if w.fn != nil {
+			w.fn(start, end)
+		}
+		r.startNext()
+	})
+}
+
+// Utilisation returns the fraction of [0, now] the resource was busy.
+func (r *Resource) Utilisation() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / float64(r.eng.Now())
+}
+
+// Latch is a countdown completion latch: Done must be called n times,
+// after which the callback fires (at the virtual time of the last
+// Done). It is the simulator-side analogue of sync.WaitGroup.
+type Latch struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewLatch returns a latch that fires fn after n Done calls. n == 0
+// fires immediately upon the first Run-side opportunity; we invoke it
+// synchronously for simplicity.
+func NewLatch(n int, fn func()) *Latch {
+	l := &Latch{remaining: n, fn: fn}
+	if n <= 0 {
+		l.fired = true
+		fn()
+	}
+	return l
+}
+
+// Done decrements the latch. Calling Done more than n times panics:
+// it indicates a double-completion bug in the model.
+func (l *Latch) Done() {
+	if l.fired {
+		panic("sim: Latch.Done after latch fired")
+	}
+	l.remaining--
+	if l.remaining == 0 {
+		l.fired = true
+		l.fn()
+	}
+}
+
+// Fired reports whether the latch has completed.
+func (l *Latch) Fired() bool { return l.fired }
+
+// Sequence runs a list of (delay, action) steps one after another,
+// starting at the current time. It returns immediately; the steps play
+// out in virtual time.
+func Sequence(eng *Engine, steps ...Step) {
+	runSteps(eng, steps, 0)
+}
+
+// Step is one stage of a Sequence: wait Delay, then run Do.
+type Step struct {
+	Delay Time
+	Do    func()
+}
+
+func runSteps(eng *Engine, steps []Step, i int) {
+	if i >= len(steps) {
+		return
+	}
+	eng.After(steps[i].Delay, func() {
+		if steps[i].Do != nil {
+			steps[i].Do()
+		}
+		runSteps(eng, steps, i+1)
+	})
+}

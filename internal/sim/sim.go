@@ -1,0 +1,164 @@
+// Package sim implements the discrete-event simulation kernel that
+// underlies the DEEP hardware models (fabrics, NICs, nodes).
+//
+// The kernel is a classic event-heap simulator: callbacks are scheduled
+// at absolute virtual times and executed in nondecreasing time order.
+// Ties are broken by schedule order (a monotonically increasing
+// sequence number), which makes every run fully deterministic.
+//
+// Virtual time is kept as integer picoseconds so that latencies in the
+// nanosecond range and bandwidths in the GB/s range can be combined
+// without floating-point drift.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual time stamp in picoseconds since simulation start.
+type Time int64
+
+// Common durations, as multiples of the picosecond base unit.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns t expressed in nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// String renders t with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanos())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts a float64 second count into a Time, rounding to
+// the nearest picosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+// Engine is not safe for concurrent use: models interact with it only
+// from inside event callbacks (or before Run).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Executed counts events that have run, for statistics and loop
+	// detection in tests.
+	executed uint64
+}
+
+// New returns an empty Engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering
+// events would destroy causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending
+// events stay queued; Run can be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline and then returns. The
+// clock is advanced to the deadline even if the queue drains early, so
+// periodic models can be stepped at a fixed cadence.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30*Nanosecond, func() { got = append(got, 3) })
+	e.At(10*Nanosecond, func() { got = append(got, 1) })
+	e.At(20*Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("final time %v, want 30ns", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order violated: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.At(1*Nanosecond, func() {
+		e.After(2*Nanosecond, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 3*Nanosecond {
+		t.Fatalf("nested event fired at %v", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Nanosecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Fatalf("resume ran to %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Microsecond, func() { count++ })
+	}
+	e.RunUntil(4 * Microsecond)
+	if count != 4 {
+		t.Fatalf("RunUntil executed %d, want 4", count)
+	}
+	if e.Now() != 4*Microsecond {
+		t.Fatalf("now = %v, want 4us", e.Now())
+	}
+	// Clock advances to deadline even with empty queue.
+	e2 := New()
+	e2.RunUntil(7 * Second)
+	if e2.Now() != 7*Second {
+		t.Fatalf("empty RunUntil now = %v", e2.Now())
+	}
+}
+
+func TestHeapOrderingProperty(t *testing.T) {
+	// Property: for any set of delays, execution times are nondecreasing.
+	check := func(seed uint64, n8 uint8) bool {
+		n := int(n8%100) + 1
+		r := rng.New(seed)
+		e := New()
+		var times []Time
+		for i := 0; i < n; i++ {
+			at := Time(r.Intn(1000)) * Nanosecond
+			e.At(at, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Nanosecond, "1.500us"},
+		{2 * Second, "2.000s"},
+		{3 * Millisecond, "3.000ms"},
+		{42 * Nanosecond, "42.000ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d ps -> %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Fatalf("FromSeconds(1e-6) = %v", got)
+	}
+	if got := FromSeconds(2.5); got != 2*Second+500*Millisecond {
+		t.Fatalf("FromSeconds(2.5) = %v", got)
+	}
+}
+
+func TestResourceFIFOAndUtilisation(t *testing.T) {
+	e := New()
+	r := NewResource(e, "link")
+	var order []int
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Acquire(10*Nanosecond, func(start, end Time) {
+			order = append(order, i)
+			ends = append(ends, end)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("service order %v", order)
+	}
+	for i, want := range []Time{10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond} {
+		if ends[i] != want {
+			t.Fatalf("end[%d] = %v, want %v", i, ends[i], want)
+		}
+	}
+	if r.Utilisation() != 1.0 {
+		t.Fatalf("utilisation = %v, want 1.0", r.Utilisation())
+	}
+	if r.Grants != 3 {
+		t.Fatalf("grants = %d", r.Grants)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := New()
+	r := NewResource(e, "bus")
+	r.Acquire(10*Nanosecond, nil)
+	e.At(50*Nanosecond, func() {
+		r.Acquire(10*Nanosecond, nil)
+	})
+	e.Run()
+	if e.Now() != 60*Nanosecond {
+		t.Fatalf("final time %v", e.Now())
+	}
+	if got := r.Utilisation(); got < 0.32 || got > 0.35 {
+		t.Fatalf("utilisation = %v, want 1/3", got)
+	}
+}
+
+func TestLatch(t *testing.T) {
+	fired := false
+	l := NewLatch(3, func() { fired = true })
+	l.Done()
+	l.Done()
+	if fired {
+		t.Fatal("latch fired early")
+	}
+	l.Done()
+	if !fired {
+		t.Fatal("latch did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done after fire did not panic")
+		}
+	}()
+	l.Done()
+}
+
+func TestLatchZero(t *testing.T) {
+	fired := false
+	NewLatch(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero latch did not fire immediately")
+	}
+}
+
+func TestSequence(t *testing.T) {
+	e := New()
+	var marks []Time
+	Sequence(e,
+		Step{Delay: 5 * Nanosecond, Do: func() { marks = append(marks, e.Now()) }},
+		Step{Delay: 10 * Nanosecond, Do: func() { marks = append(marks, e.Now()) }},
+		Step{Delay: 1 * Nanosecond, Do: func() { marks = append(marks, e.Now()) }},
+	)
+	e.Run()
+	want := []Time{5 * Nanosecond, 15 * Nanosecond, 16 * Nanosecond}
+	if len(marks) != 3 {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		r := rng.New(1234)
+		var times []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 6 {
+				return
+			}
+			n := r.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				e.After(Time(r.Intn(100)+1)*Nanosecond, func() {
+					times = append(times, e.Now())
+					spawn(depth + 1)
+				})
+			}
+		}
+		spawn(0)
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	e := New()
+	var pump func()
+	n := 0
+	pump = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, pump)
+		}
+	}
+	e.After(Nanosecond, pump)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,167 @@
+// Package stats provides the measurement plumbing of the experiment
+// harness: streaming summaries, fixed-boundary histograms, and plain
+// text table rendering for the per-figure reproduction output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n          int
+	sum, sumsq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumsq += v * v
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the population variance.
+func (s *Summary) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumsq/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // numerical guard
+	}
+	return v
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns the observation total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Histogram counts observations in half-open bins [bounds[i],
+// bounds[i+1]), plus underflow and overflow bins.
+type Histogram struct {
+	bounds []float64
+	counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram builds a histogram with strictly increasing bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) < 2 {
+		panic("stats: histogram needs at least two bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: bounds not increasing at %d", i))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int, len(bounds)-1)}
+}
+
+// NewLogHistogram builds bins at lo, lo*factor, lo*factor^2 ... up to
+// at least hi.
+func NewLogHistogram(lo, hi, factor float64) *Histogram {
+	if lo <= 0 || hi <= lo || factor <= 1 {
+		panic("stats: invalid log histogram shape")
+	}
+	var bounds []float64
+	for b := lo; ; b *= factor {
+		bounds = append(bounds, b)
+		if b >= hi {
+			break
+		}
+	}
+	return NewHistogram(bounds...)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < h.bounds[0] {
+		h.under++
+		return
+	}
+	if v >= h.bounds[len(h.bounds)-1] {
+		h.over++
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the first bound >= v; bin index is one
+	// less, except when v equals the bound exactly.
+	if i < len(h.bounds) && h.bounds[i] == v {
+		h.counts[i]++
+		return
+	}
+	h.counts[i-1]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int { return h.counts[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Quantile returns an estimate of quantile q in [0,1] assuming uniform
+// density within bins. Under/overflow observations clamp to the edge
+// bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.bounds[0]
+	}
+	for i, c := range h.counts {
+		if target <= acc+float64(c) {
+			frac := (target - acc) / float64(c)
+			lo, hi := h.bounds[i], h.bounds[i+1]
+			return lo + frac*(hi-lo)
+		}
+		acc += float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}

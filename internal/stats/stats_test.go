@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Var()-2) > 1e-12 {
+		t.Fatalf("var %v, want 2", s.Var())
+	}
+	if math.Abs(s.Std()-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std %v", s.Std())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+// TestSummaryMatchesDirectComputation: streaming moments equal the
+// two-pass reference for random streams.
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	check := func(seed uint64, n8 uint8) bool {
+		n := int(n8%50) + 1
+		r := rng.New(seed)
+		var s Summary
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*100 - 50
+			s.Add(vals[i])
+		}
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, v := range vals {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(n)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-variance) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 20, 30)
+	for _, v := range []float64{-5, 0, 5, 10, 15, 25, 30, 99} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total %d", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers %d/%d", under, over)
+	}
+	if h.Bin(0) != 2 || h.Bin(1) != 2 || h.Bin(2) != 1 {
+		t.Fatalf("bins %d %d %d", h.Bin(0), h.Bin(1), h.Bin(2))
+	}
+}
+
+func TestHistogramBoundaryGoesToUpperBin(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	h.Add(10)
+	if h.Bin(0) != 0 || h.Bin(1) != 1 {
+		t.Fatalf("boundary bin: %d %d", h.Bin(0), h.Bin(1))
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 10)
+	if h.Bins() != 3 {
+		t.Fatalf("bins = %d", h.Bins())
+	}
+	h.Add(5)
+	h.Add(50)
+	h.Add(500)
+	for i := 0; i < 3; i++ {
+		if h.Bin(i) != 1 {
+			t.Fatalf("bin %d = %d", i, h.Bin(i))
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Fatalf("median %v", med)
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatalf("q0 = %v", h.Quantile(0))
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(1) },
+		func() { NewHistogram(1, 1) },
+		func() { NewHistogram(2, 1) },
+		func() { NewLogHistogram(0, 10, 2) },
+		func() { NewLogHistogram(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid histogram accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramConservation: every observation lands in exactly one
+// bin (or an outlier counter).
+func TestHistogramConservation(t *testing.T) {
+	check := func(seed uint64, n8 uint8) bool {
+		n := int(n8) + 1
+		r := rng.New(seed)
+		h := NewHistogram(0, 1, 2, 5, 10)
+		for i := 0; i < n; i++ {
+			h.Add(r.Float64() * 15)
+		}
+		sum := 0
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Bin(i)
+		}
+		u, o := h.Outliers()
+		return sum+u+o == n && h.Total() == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta", 10000000.0)
+	tab.AddNote("a note with %d", 42)
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "1.500", "1.000e+07", "# a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("x,y", 2)
+	var b strings.Builder
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",2\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.23456: "1.235",
+		123.456: "123.5",
+		1e9:     "1.000e+09",
+		1e-5:    "1.000e-05",
+		-2.5:    "-2.500",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package topology
+
+import "fmt"
+
+// FatTree is a two-level fat tree (leaf/spine), the shape of the
+// InfiniBand fabric on the DEEP Cluster side. Nodes attach to leaf
+// switches; every leaf connects to every spine. Routing is the usual
+// up/down: up to a deterministically chosen spine (hash of the
+// destination, giving static load spreading like IB's LMC-based
+// multipathing), then down to the destination's leaf.
+//
+// Link numbering (all unidirectional):
+//
+//	node n up-link            -> link 4n
+//	node n down-link          -> link 4n+1 (leaf->node)
+//	leaf l to spine s up      -> nodeLinks + 2*(l*spines+s)
+//	spine s to leaf l down    -> nodeLinks + 2*(l*spines+s) + 1
+type FatTree struct {
+	NodesPerLeaf int
+	Leaves       int
+	Spines       int
+}
+
+// NewFatTree builds a fat tree with the given shape. A Spines count
+// equal to NodesPerLeaf gives full bisection bandwidth;
+// fewer spines model oversubscription.
+func NewFatTree(nodesPerLeaf, leaves, spines int) *FatTree {
+	if nodesPerLeaf < 1 || leaves < 1 || spines < 1 {
+		panic(fmt.Sprintf("topology: invalid fat tree %d/%d/%d", nodesPerLeaf, leaves, spines))
+	}
+	return &FatTree{NodesPerLeaf: nodesPerLeaf, Leaves: leaves, Spines: spines}
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string {
+	return fmt.Sprintf("fattree-%dx%d-s%d", f.NodesPerLeaf, f.Leaves, f.Spines)
+}
+
+// Nodes implements Topology.
+func (f *FatTree) Nodes() int { return f.NodesPerLeaf * f.Leaves }
+
+// Links implements Topology.
+func (f *FatTree) Links() int { return 2*f.Nodes() + 2*f.Leaves*f.Spines }
+
+// Leaf returns the leaf switch index of node id.
+func (f *FatTree) Leaf(id NodeID) int {
+	validateNode(id, f.Nodes(), f.Name())
+	return int(id) / f.NodesPerLeaf
+}
+
+func (f *FatTree) nodeUp(id NodeID) LinkID   { return LinkID(2 * int(id)) }
+func (f *FatTree) nodeDown(id NodeID) LinkID { return LinkID(2*int(id) + 1) }
+
+func (f *FatTree) leafToSpine(leaf, spine int) LinkID {
+	return LinkID(2*f.Nodes() + 2*(leaf*f.Spines+spine))
+}
+
+func (f *FatTree) spineToLeaf(leaf, spine int) LinkID {
+	return LinkID(2*f.Nodes() + 2*(leaf*f.Spines+spine) + 1)
+}
+
+// spineFor deterministically spreads destination traffic over spines.
+func (f *FatTree) spineFor(dst NodeID) int { return int(dst) % f.Spines }
+
+// Route implements Topology.
+func (f *FatTree) Route(src, dst NodeID) []LinkID {
+	validateNode(src, f.Nodes(), f.Name())
+	validateNode(dst, f.Nodes(), f.Name())
+	if src == dst {
+		return nil
+	}
+	sl, dl := f.Leaf(src), f.Leaf(dst)
+	if sl == dl {
+		// Same leaf: up to the leaf switch, straight back down.
+		return []LinkID{f.nodeUp(src), f.nodeDown(dst)}
+	}
+	sp := f.spineFor(dst)
+	return []LinkID{
+		f.nodeUp(src),
+		f.leafToSpine(sl, sp),
+		f.spineToLeaf(dl, sp),
+		f.nodeDown(dst),
+	}
+}
+
+// Crossbar is a single non-blocking switch: every pair of nodes is two
+// hops apart (in via the source port, out via the destination port).
+// It models a PCIe switch / host bus fanout where the shared medium is
+// captured at the fabric layer by the port links themselves.
+type Crossbar struct {
+	N int
+}
+
+// NewCrossbar returns an n-port crossbar.
+func NewCrossbar(n int) *Crossbar {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: invalid crossbar size %d", n))
+	}
+	return &Crossbar{N: n}
+}
+
+// Name implements Topology.
+func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar-%d", c.N) }
+
+// Nodes implements Topology.
+func (c *Crossbar) Nodes() int { return c.N }
+
+// Links implements Topology: one ingress and one egress link per node.
+func (c *Crossbar) Links() int { return 2 * c.N }
+
+// Route implements Topology: source egress port, destination ingress
+// port.
+func (c *Crossbar) Route(src, dst NodeID) []LinkID {
+	validateNode(src, c.N, c.Name())
+	validateNode(dst, c.N, c.Name())
+	if src == dst {
+		return nil
+	}
+	return []LinkID{LinkID(2 * int(src)), LinkID(2*int(dst) + 1)}
+}

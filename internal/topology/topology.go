@@ -1,0 +1,74 @@
+// Package topology models the interconnect topologies of the DEEP
+// system: the EXTOLL 3D torus of the Booster, the InfiniBand fat tree
+// of the Cluster, and a flat crossbar used for PCIe-style buses.
+//
+// A Topology enumerates nodes (compute endpoints) and provides routing:
+// the ordered list of links a packet traverses from one node to
+// another. Links are identified by small dense integers so the fabric
+// layer can keep per-link state in slices.
+package topology
+
+import "fmt"
+
+// NodeID identifies a compute endpoint within one topology.
+type NodeID int
+
+// LinkID identifies a unidirectional link within one topology.
+type LinkID int
+
+// Topology describes a network graph with deterministic routing.
+type Topology interface {
+	// Nodes returns the number of endpoints.
+	Nodes() int
+	// Links returns the number of unidirectional links.
+	Links() int
+	// Route returns the sequence of links a packet takes from src to
+	// dst. An empty route means src == dst (loopback).
+	Route(src, dst NodeID) []LinkID
+	// Name returns a short diagnostic name, e.g. "torus3d-4x4x4".
+	Name() string
+}
+
+// Hops returns the number of links on the route from src to dst.
+func Hops(t Topology, src, dst NodeID) int { return len(t.Route(src, dst)) }
+
+// Diameter returns the maximum hop count over all node pairs. It is
+// O(n^2 * route) and intended for tests and small analysis runs.
+func Diameter(t Topology) int {
+	max := 0
+	n := t.Nodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if h := Hops(t, NodeID(s), NodeID(d)); h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+// AvgHops returns the mean hop count over all ordered pairs of
+// distinct nodes.
+func AvgHops(t Topology) float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	total := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				total += Hops(t, NodeID(s), NodeID(d))
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+// validateNode panics when id is outside [0, n); routing with a bad
+// endpoint is always a caller bug.
+func validateNode(id NodeID, n int, topo string) {
+	if int(id) < 0 || int(id) >= n {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d) in %s", id, n, topo))
+	}
+}

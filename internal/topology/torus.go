@@ -1,0 +1,156 @@
+package topology
+
+import "fmt"
+
+// Torus3D is a 3-dimensional torus with dimension-ordered routing
+// (X, then Y, then Z), matching the 6-link EXTOLL NIC described in the
+// paper. Each node owns 6 outgoing links: +X, -X, +Y, -Y, +Z, -Z, in
+// that order, so link IDs are node*6 + direction.
+type Torus3D struct {
+	X, Y, Z int
+}
+
+// Direction indices for a node's six torus links.
+const (
+	DirXPlus = iota
+	DirXMinus
+	DirYPlus
+	DirYMinus
+	DirZPlus
+	DirZMinus
+	torusDegree
+)
+
+// NewTorus3D returns an X x Y x Z torus. All dimensions must be >= 1.
+func NewTorus3D(x, y, z int) *Torus3D {
+	if x < 1 || y < 1 || z < 1 {
+		panic(fmt.Sprintf("topology: invalid torus %dx%dx%d", x, y, z))
+	}
+	return &Torus3D{X: x, Y: y, Z: z}
+}
+
+// Name implements Topology.
+func (t *Torus3D) Name() string { return fmt.Sprintf("torus3d-%dx%dx%d", t.X, t.Y, t.Z) }
+
+// Nodes implements Topology.
+func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
+
+// Links implements Topology. Every node has six outgoing links even in
+// degenerate dimensions; unused links are simply never routed over.
+func (t *Torus3D) Links() int { return t.Nodes() * torusDegree }
+
+// Coord returns the (x, y, z) coordinates of node id.
+func (t *Torus3D) Coord(id NodeID) (x, y, z int) {
+	validateNode(id, t.Nodes(), t.Name())
+	n := int(id)
+	x = n % t.X
+	y = (n / t.X) % t.Y
+	z = n / (t.X * t.Y)
+	return
+}
+
+// ID returns the node at coordinates (x, y, z), taken modulo each
+// dimension so callers can address neighbours without wrapping
+// manually.
+func (t *Torus3D) ID(x, y, z int) NodeID {
+	x = mod(x, t.X)
+	y = mod(y, t.Y)
+	z = mod(z, t.Z)
+	return NodeID(x + y*t.X + z*t.X*t.Y)
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// linkFrom returns the link ID of node's outgoing link in direction d.
+func (t *Torus3D) linkFrom(node NodeID, d int) LinkID {
+	return LinkID(int(node)*torusDegree + d)
+}
+
+// step returns the shortest signed step count from a to b in a ring of
+// size m, preferring the positive direction on ties (deterministic).
+func step(a, b, m int) int {
+	fwd := mod(b-a, m)
+	bwd := fwd - m // negative
+	if fwd <= -bwd {
+		return fwd
+	}
+	return bwd
+}
+
+// Route implements Topology using dimension-ordered shortest-path
+// routing: resolve X displacement first, then Y, then Z. Deterministic
+// and deadlock-free (the property EXTOLL's hardware routing relies on).
+func (t *Torus3D) Route(src, dst NodeID) []LinkID {
+	validateNode(src, t.Nodes(), t.Name())
+	validateNode(dst, t.Nodes(), t.Name())
+	if src == dst {
+		return nil
+	}
+	sx, sy, sz := t.Coord(src)
+	dx, dy, dz := t.Coord(dst)
+	var route []LinkID
+	cx, cy, cz := sx, sy, sz
+	walk := func(cur *int, target, size, plus, minus int, coord func() NodeID) {
+		s := step(*cur, target, size)
+		for s != 0 {
+			dir := plus
+			inc := 1
+			if s < 0 {
+				dir = minus
+				inc = -1
+			}
+			route = append(route, t.linkFrom(coord(), dir))
+			*cur = mod(*cur+inc, size)
+			s -= inc
+		}
+	}
+	walk(&cx, dx, t.X, DirXPlus, DirXMinus, func() NodeID { return t.ID(cx, cy, cz) })
+	walk(&cy, dy, t.Y, DirYPlus, DirYMinus, func() NodeID { return t.ID(cx, cy, cz) })
+	walk(&cz, dz, t.Z, DirZPlus, DirZMinus, func() NodeID { return t.ID(cx, cy, cz) })
+	return route
+}
+
+// LinkEndpoints returns the (from, to) nodes of link l, for diagnostics
+// and contention analysis.
+func (t *Torus3D) LinkEndpoints(l LinkID) (from, to NodeID) {
+	from = NodeID(int(l) / torusDegree)
+	d := int(l) % torusDegree
+	x, y, z := t.Coord(from)
+	switch d {
+	case DirXPlus:
+		to = t.ID(x+1, y, z)
+	case DirXMinus:
+		to = t.ID(x-1, y, z)
+	case DirYPlus:
+		to = t.ID(x, y+1, z)
+	case DirYMinus:
+		to = t.ID(x, y-1, z)
+	case DirZPlus:
+		to = t.ID(x, y, z+1)
+	case DirZMinus:
+		to = t.ID(x, y, z-1)
+	}
+	return
+}
+
+// BisectionLinks returns the number of unidirectional links crossing
+// the X-midplane bisection, a proxy for bisection bandwidth.
+func (t *Torus3D) BisectionLinks() int {
+	if t.X < 2 {
+		return 0
+	}
+	// Each YZ-plane column contributes wrap and midplane crossings in
+	// both directions: 2 cut points x 2 directions when X > 2, else 1
+	// cut (the single pair of opposing links counted once per node).
+	cuts := 2
+	if t.X == 2 {
+		cuts = 1
+	}
+	return t.Y * t.Z * cuts * 2
+}
