@@ -6,8 +6,8 @@
 // VELO/RMA/SMFU engines, PCIe baseline, Xeon/Xeon Phi node models)
 // they run on — all simulated, since the original system is hardware.
 //
-// See README.md for the architecture overview, DESIGN.md for the
-// system inventory and per-experiment index, and EXPERIMENTS.md for
-// paper-vs-measured records. The benchmarks in bench_test.go
-// regenerate every figure via the internal/expt registry.
+// See README.md for the architecture overview and system inventory,
+// and EXPERIMENTS.md for paper-vs-measured records. The benchmarks in
+// bench_test.go regenerate every figure via the internal/expt
+// registry.
 package repro

@@ -78,8 +78,8 @@ func main() {
 			float64(serial)/float64(g.Makespan(w)),
 			float64(serial)/float64(c.ForkJoinMakespan(machine.KNC, w)))
 	}
-	tab.AddNote(fmt.Sprintf("critical path limits speedup to %.1f",
-		float64(serial)/float64(g.CriticalPath())))
+	tab.AddNote("critical path limits speedup to %.1f",
+		float64(serial)/float64(g.CriticalPath()))
 	if err := tab.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

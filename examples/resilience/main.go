@@ -1,0 +1,130 @@
+// Resilience: the DEEP-ER dimension of the paper — at thousands of
+// booster nodes failures stop being exceptional, so the resource
+// manager must requeue jobs killed by node failures, restart them from
+// multi-level checkpoints, and heal the booster pool as nodes fail and
+// return. This walkthrough injects a deterministic failure trace into
+// a 64-booster run, compares no-checkpointing vs Daly-interval
+// buddy-SSD checkpointing, and knocks a fabric link out mid-transfer
+// to show the link layer riding through the outage.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fabric"
+	"repro/internal/resil"
+	"repro/internal/resource"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+const (
+	nodes = 64
+	mtbf  = 200.0 // per-node MTBF, seconds
+	write = 0.5   // local-SSD checkpoint write, seconds (buddy doubles it)
+)
+
+func workload() []*resource.Job {
+	r := rng.New(41)
+	jobs := make([]*resource.Job, 24)
+	for i := range jobs {
+		jobs[i] = &resource.Job{
+			ID:       i,
+			Arrival:  sim.Time(i) * 500 * sim.Millisecond,
+			Boosters: 1 << uint(r.Intn(4)), // 1..8 boosters
+			Duration: sim.Time(r.Intn(20000)+10000) * sim.Millisecond,
+		}
+	}
+	return jobs
+}
+
+func run(ckpt *resil.Checkpoint) (*resource.Scheduler, *resil.Injector) {
+	eng := sim.New()
+	pool := resource.NewPool(nodes)
+	s := resource.NewScheduler(eng, pool, resource.Dynamic)
+	s.Backfill = true
+	s.Ckpt = ckpt
+	for _, j := range workload() {
+		s.Submit(j)
+	}
+	inj := resil.NewInjector(eng, 600*sim.Second)
+	inj.Nodes(nodes, resil.Faults{
+		TTF: resil.Weibull{Shape: 0.7, Scale: mtbf}, // infant-mortality regime
+		TTR: resil.Fixed{D: 10},
+	}, 5, s)
+	eng.Run()
+	return s, inj
+}
+
+func main() {
+	fmt.Println("DEEP resilience walkthrough: failures, checkpoints, self-healing")
+	fmt.Println()
+
+	// The Daly interval for buddy-replicated local checkpoints: the
+	// effective write cost is 2x the SSD write.
+	delta := 2 * write
+	daly := resil.DalyInterval(delta, mtbf)
+	fmt.Printf("per-node MTBF %.0f s, checkpoint write %.1f s (buddy) -> "+
+		"Young interval %.1f s, Daly interval %.1f s\n\n",
+		mtbf, delta, resil.YoungInterval(delta, mtbf), daly)
+
+	ckpt := &resil.Checkpoint{
+		Interval:     sim.FromSeconds(daly),
+		LocalWrite:   sim.FromSeconds(write),
+		LocalRestore: sim.FromSeconds(write / 2),
+		Buddy:        true,
+	}
+	tab := stats.NewTable("24 jobs on 64 boosters under Weibull failures",
+		"checkpointing", "makespan_s", "utilisation", "requeues", "lost_work_s")
+	for _, mode := range []struct {
+		name string
+		c    *resil.Checkpoint
+	}{
+		{"none (restart from scratch)", nil},
+		{"buddy-SSD @ Daly", ckpt},
+	} {
+		s, inj := run(mode.c)
+		if len(s.Completed()) != 24 {
+			log.Fatalf("%s: only %d jobs completed", mode.name, len(s.Completed()))
+		}
+		fmt.Printf("  %-28s %3d node failures injected, %3d healed\n",
+			mode.name, inj.NodeFailures, inj.NodeRepairs)
+		tab.AddRow(mode.name, s.Makespan().Seconds(), s.Utilisation(),
+			int(s.Requeued), s.LostWork.Seconds())
+	}
+	fmt.Println()
+	tab.AddNote("same failure trace (seed 5) in both runs; checkpointing trades ~%.0f%% write overhead for far less rework", 100*delta/daly)
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Fabric-link outage: a transfer crossing a failed EXTOLL link is
+	// retried by the link layer and completes once the link heals.
+	eng := sim.New()
+	topo := topology.NewTorus3D(4, 4, 4)
+	p := fabric.Extoll
+	p.MaxRetries = 1 << 20
+	net := fabric.MustNetwork(eng, topo, p, 1)
+	route := topo.Route(0, 9)
+	clean := net.ZeroLoadLatency(0, 9, 1<<20)
+	net.LinkFailed(int(route[0]))
+	eng.At(2*sim.Millisecond, func() { net.LinkRepaired(int(route[0])) })
+	var delivered sim.Time
+	net.Send(0, 9, 1<<20, func(at sim.Time, err error) {
+		if err != nil {
+			log.Fatalf("transfer lost: %v", err)
+		}
+		delivered = at
+	})
+	eng.Run()
+	fmt.Printf("link outage: 1 MiB over a failed EXTOLL link delivered at %v "+
+		"(healthy fabric: %v), %d retries while down\n",
+		delivered, clean, net.Stats.Retransmits)
+}

@@ -35,8 +35,8 @@ func runE06() *stats.Table {
 		sfj := float64(serial) / float64(fj)
 		tab.AddRow(w, sdf, sfj, sdf/sfj)
 	}
-	tab.AddNote(fmt.Sprintf("tasks=%d, work=%v, critical path=%v (max speedup %.1f)",
-		g.Len(), serial, cp, float64(serial)/float64(cp)))
+	tab.AddNote("tasks=%d, work=%v, critical path=%v (max speedup %.1f)",
+		g.Len(), serial, cp, float64(serial)/float64(cp))
 	tab.AddNote("expected shape: dataflow tracks ideal longer; fork-join saturates earlier (barrier idle time)")
 	return tab
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"A01", "A02", "A03", "A04",
 		"E01", "E02", "E03", "E04", "E05", "E06",
 		"E07", "E08", "E09", "E10", "E11", "E12",
+		"E13", "E14",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -267,6 +269,76 @@ func TestE12ScalingLaws(t *testing.T) {
 	// Scalar essentially flat (<2x per decade).
 	if f(t, y2018[1])/f(t, y2008[1]) > 2 {
 		t.Fatal("scalar performance scaled too much")
+	}
+}
+
+func TestE13EfficiencyDegradesWithMTBFAndScale(t *testing.T) {
+	rows := run(t, "E13")
+	effDyn := func(key string) float64 { return f(t, rows[key][4]) }
+	effStatic := func(key string) float64 { return f(t, rows[key][3]) }
+	// Small machine: the same per-node MTBF that ruins 4096 nodes
+	// barely dents 64 nodes.
+	if effDyn("64/1000") < 0.9*effDyn("64/inf") {
+		t.Fatalf("64 nodes already degraded at MTBF 1000: %v vs %v",
+			effDyn("64/1000"), effDyn("64/inf"))
+	}
+	// Large machine: efficiency collapses as MTBF shrinks.
+	if effDyn("4096/1000") > 0.5*effDyn("4096/inf") {
+		t.Fatalf("4096 nodes not degraded: %v vs %v",
+			effDyn("4096/1000"), effDyn("4096/inf"))
+	}
+	// Monotone degradation with failure rate at 4096, dynamic.
+	for _, pair := range [][2]string{
+		{"4096/inf", "4096/16000"}, {"4096/16000", "4096/4000"}, {"4096/4000", "4096/1000"},
+	} {
+		if effDyn(pair[1]) >= effDyn(pair[0]) {
+			t.Fatalf("efficiency not degrading: %s %v -> %s %v",
+				pair[0], effDyn(pair[0]), pair[1], effDyn(pair[1]))
+		}
+	}
+	// Scale fragility at fixed per-node MTBF.
+	if effDyn("4096/1000") > effDyn("64/1000")/2 {
+		t.Fatalf("no scale penalty: %v at 4096 vs %v at 64",
+			effDyn("4096/1000"), effDyn("64/1000"))
+	}
+	// Dynamic assignment degrades more gracefully than static,
+	// everywhere.
+	for key := range rows {
+		if effDyn(key) <= effStatic(key) {
+			t.Fatalf("%s: dynamic %v not above static %v", key, effDyn(key), effStatic(key))
+		}
+	}
+}
+
+func TestE14DalyIntervalNearOptimal(t *testing.T) {
+	rows := run(t, "E14")
+	var dalyKey string
+	for key := range rows {
+		if strings.HasPrefix(key, "daly=") {
+			dalyKey = key
+		}
+	}
+	if dalyKey == "" {
+		t.Fatalf("no daly row in %v", keys(rows))
+	}
+	best := f(t, rows[dalyKey][1])
+	for key, r := range rows {
+		if key == dalyKey {
+			continue
+		}
+		if wall := f(t, r[1]); wall <= best {
+			t.Fatalf("interval %s wall %v beats daly %v", key, wall, best)
+		}
+	}
+	// No checkpointing pays full restarts: at least 2x the Daly wall.
+	if f(t, rows["none"][1]) < 2*best {
+		t.Fatalf("restart-from-scratch %v not clearly worse than daly %v",
+			f(t, rows["none"][1]), best)
+	}
+	// The measured wall tracks the first-order analytic model.
+	analytic := f(t, rows[dalyKey][4])
+	if math.Abs(best-analytic)/analytic > 0.25 {
+		t.Fatalf("measured %v vs analytic %v beyond 25%%", best, analytic)
 	}
 }
 

@@ -333,6 +333,52 @@ func TestNetworkHotspotUtilisation(t *testing.T) {
 	}
 }
 
+func TestLinkOutageDelaysThenDelivers(t *testing.T) {
+	// A message crossing a failed link is retried by the link layer
+	// and completes once the outage ends — slower than on a healthy
+	// fabric, but delivered.
+	topo := topology.NewTorus3D(4, 1, 1)
+	p := Extoll
+	p.MaxRetries = 1 << 20
+	engC, netC := newTestNet(t, topo, p)
+	tClean := send(t, engC, netC, 0, 2, 4096)
+
+	eng, net := newTestNet(t, topo, p)
+	route := topo.Route(0, 2)
+	net.LinkFailed(int(route[0]))
+	if !net.LinkDown(route[0]) {
+		t.Fatal("link not marked down")
+	}
+	eng.At(50*sim.Microsecond, func() { net.LinkRepaired(int(route[0])) })
+	tOutage := send(t, eng, net, 0, 2, 4096)
+	if net.Stats.LinkOutageHits == 0 {
+		t.Fatal("no outage hits recorded")
+	}
+	if tOutage <= tClean || tOutage < 50*sim.Microsecond {
+		t.Fatalf("outage delivery %v not delayed past repair (clean %v)", tOutage, tClean)
+	}
+	if net.Stats.Drops != 0 {
+		t.Fatalf("%d drops despite retry budget", net.Stats.Drops)
+	}
+}
+
+func TestLinkOutageExhaustsRetryBudget(t *testing.T) {
+	topo := topology.NewTorus3D(2, 1, 1)
+	p := Extoll
+	p.MaxRetries = 3
+	eng, net := newTestNet(t, topo, p)
+	net.LinkFailed(int(topo.Route(0, 1)[0]))
+	var gotErr error
+	net.Send(0, 1, 128, func(_ sim.Time, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("expected drop on permanently failed link")
+	}
+	if net.Stats.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", net.Stats.Drops)
+	}
+}
+
 func BenchmarkNetworkSend(b *testing.B) {
 	topo := topology.NewTorus3D(8, 8, 8)
 	eng := sim.New()

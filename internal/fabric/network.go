@@ -15,6 +15,9 @@ type Stats struct {
 	Packets        uint64
 	Retransmits    uint64
 	Drops          uint64
+	// LinkOutageHits counts packet traversals that found their link
+	// down (each burns a retransmission attempt).
+	LinkOutageHits uint64
 }
 
 // Network simulates one fabric: a topology whose links are serializing
@@ -26,6 +29,7 @@ type Network struct {
 	P    Params
 
 	links []*sim.Resource
+	down  []bool // per-link outage flag, driven by resil.Injector
 	src   *rng.Source
 	Stats Stats
 }
@@ -39,6 +43,7 @@ func NewNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) 
 	}
 	n := &Network{Eng: eng, Topo: topo, P: p, src: rng.New(seed)}
 	n.links = make([]*sim.Resource, topo.Links())
+	n.down = make([]bool, topo.Links())
 	for i := range n.links {
 		n.links[i] = sim.NewResource(eng, fmt.Sprintf("%s/link%d", topo.Name(), i))
 	}
@@ -152,8 +157,7 @@ func (n *Network) forward(route []topology.LinkID, hop, bytes int, finish func(e
 		finish(nil)
 		return
 	}
-	link := n.links[route[hop]]
-	n.traverse(link, bytes, 0, func(err error) {
+	n.traverse(route[hop], bytes, 0, func(err error) {
 		if err != nil {
 			finish(err)
 			return
@@ -162,18 +166,40 @@ func (n *Network) forward(route []topology.LinkID, hop, bytes int, finish func(e
 	})
 }
 
-func (n *Network) traverse(link *sim.Resource, bytes, attempt int, done func(error)) {
+func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(error)) {
+	link := n.links[l]
 	link.Acquire(n.P.serTime(bytes), func(_, _ sim.Time) {
 		n.Eng.After(n.P.RouterDelay+n.P.LinkLatency, func() {
-			if n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate) {
+			corrupted := n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate)
+			if n.down[l] {
+				// A failed link delivers nothing: the CRC handshake
+				// times out and the link layer retries, exactly like a
+				// corrupted traversal, until the outage ends or the
+				// retry budget is exhausted.
+				n.Stats.LinkOutageHits++
+				corrupted = true
+			}
+			if corrupted {
 				n.Stats.Retransmits++
 				if attempt+1 >= n.P.maxRetries() {
 					done(fmt.Errorf("fabric: packet dropped after %d retries on %s",
 						attempt+1, link.Name()))
 					return
 				}
-				n.Eng.After(n.P.RetransmitDelay, func() {
-					n.traverse(link, bytes, attempt+1, done)
+				delay := n.P.RetransmitDelay
+				if n.down[l] {
+					// Outages last far longer than a CRC turnaround:
+					// back off exponentially so a packet parked on a
+					// failed link costs O(log outage) events instead
+					// of busy-spinning at the retransmit cadence.
+					shift := uint(attempt)
+					if shift > 20 {
+						shift = 20
+					}
+					delay <<= shift
+				}
+				n.Eng.After(delay, func() {
+					n.traverse(l, bytes, attempt+1, done)
 				})
 				return
 			}
@@ -181,6 +207,18 @@ func (n *Network) traverse(link *sim.Resource, bytes, attempt int, done func(err
 		})
 	})
 }
+
+// LinkFailed implements resil.LinkTarget: the link stops delivering
+// packets until LinkRepaired. Traffic crossing it burns retransmission
+// attempts and is eventually dropped if the outage outlasts the retry
+// budget.
+func (n *Network) LinkFailed(l int) { n.down[l] = true }
+
+// LinkRepaired implements resil.LinkTarget.
+func (n *Network) LinkRepaired(l int) { n.down[l] = false }
+
+// LinkDown reports whether link l is currently failed.
+func (n *Network) LinkDown(l topology.LinkID) bool { return n.down[l] }
 
 // ZeroLoadLatency returns the modelled latency of a size-byte message
 // between src and dst on an idle network: overheads + per-hop router

@@ -1,0 +1,104 @@
+package resil
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NodeTarget receives node fail/repair notifications from an Injector.
+// resource.Scheduler implements it; tests use recorders.
+type NodeTarget interface {
+	NodeFailed(id int)
+	NodeRepaired(id int)
+}
+
+// LinkTarget receives fabric-link fail/repair notifications.
+// fabric.Network implements it.
+type LinkTarget interface {
+	LinkFailed(id int)
+	LinkRepaired(id int)
+}
+
+// Faults describes one component class's failure process: lifetime
+// until failure and downtime until repair.
+type Faults struct {
+	TTF Distribution // time to failure (e.g. Exponential{MTBF})
+	TTR Distribution // time to repair (e.g. Fixed{30})
+}
+
+// Injector generates deterministic fail/repair event streams on a
+// sim.Engine. Each component gets its own rng stream (split from the
+// seed), so the trace of any one component is independent of event
+// interleaving with the others — the whole failure schedule is a pure
+// function of (seed, distributions, horizon).
+type Injector struct {
+	Eng *sim.Engine
+	// Horizon bounds failure generation: no new failure is scheduled
+	// after this virtual time, so Engine.Run terminates. Repairs of
+	// failures that already happened are still delivered past it.
+	Horizon sim.Time
+
+	// Counters, for experiment tables.
+	NodeFailures uint64
+	NodeRepairs  uint64
+	LinkFailures uint64
+	LinkRepairs  uint64
+}
+
+// NewInjector returns an injector generating failures in [0, horizon].
+func NewInjector(eng *sim.Engine, horizon sim.Time) *Injector {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("resil: non-positive horizon %v", horizon))
+	}
+	return &Injector{Eng: eng, Horizon: horizon}
+}
+
+// Nodes starts a fail/repair process for node ids [0, n) against the
+// target. Call before Engine.Run. A nil TTF (or n == 0) injects
+// nothing: resilience off is the zero-cost default.
+func (in *Injector) Nodes(n int, f Faults, seed uint64, t NodeTarget) {
+	if n == 0 || f.TTF == nil {
+		return
+	}
+	in.start(n, f, seed, t.NodeFailed, t.NodeRepaired, &in.NodeFailures, &in.NodeRepairs)
+}
+
+// Links starts a fail/repair process for link ids [0, n) against the
+// target, mirroring Nodes.
+func (in *Injector) Links(n int, f Faults, seed uint64, t LinkTarget) {
+	if n == 0 || f.TTF == nil {
+		return
+	}
+	in.start(n, f, seed, t.LinkFailed, t.LinkRepaired, &in.LinkFailures, &in.LinkRepairs)
+}
+
+func (in *Injector) start(n int, f Faults, seed uint64,
+	onFail, onRepair func(int), failures, repairs *uint64) {
+	if f.TTR == nil {
+		panic("resil: Faults with a TTF but no TTR (use Fixed{0} for instant repair)")
+	}
+	root := rng.New(seed)
+	for id := 0; id < n; id++ {
+		in.schedule(id, root.Split(), f, onFail, onRepair, failures, repairs)
+	}
+}
+
+func (in *Injector) schedule(id int, r *rng.Source, f Faults,
+	onFail, onRepair func(int), failures, repairs *uint64) {
+	at := in.Eng.Now() + sim.FromSeconds(f.TTF.Sample(r))
+	if at > in.Horizon {
+		return
+	}
+	in.Eng.At(at, func() {
+		*failures++
+		onFail(id)
+		down := sim.FromSeconds(f.TTR.Sample(r))
+		in.Eng.After(down, func() {
+			*repairs++
+			onRepair(id)
+			in.schedule(id, r, f, onFail, onRepair, failures, repairs)
+		})
+	})
+}

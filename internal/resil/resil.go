@@ -1,0 +1,99 @@
+// Package resil is the resilience layer of the DEEP reproduction: a
+// deterministic fault-injection process generator, a multi-level
+// checkpoint/restart cost model, and the optimal-interval theory
+// (Young/Daly) that ties the two together.
+//
+// The DEEP paper argues the Cluster-Booster split pays off only at
+// scale — thousands of many-core booster nodes — and at that node
+// count failures stop being exceptional: the DEEP-ER follow-on project
+// was dedicated entirely to resiliency and multi-level checkpointing.
+// This package lets the simulator explore that regime. All randomness
+// flows through internal/rng with explicit seeds, so every failure
+// trace is bit-reproducible; with a zero failure rate nothing is
+// scheduled and the simulator behaves exactly as the perfect machine.
+package resil
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Distribution draws positive durations in seconds: times-to-failure
+// and times-to-repair.
+type Distribution interface {
+	// Sample returns one draw, in seconds. Draws are > 0.
+	Sample(r *rng.Source) float64
+	// Mean returns the expectation, in seconds (MTBF/MTTR).
+	Mean() float64
+}
+
+// Exponential is the memoryless lifetime model: the classic per-node
+// MTBF assumption behind Young's and Daly's interval formulas.
+type Exponential struct {
+	// M is the mean (MTBF or MTTR) in seconds.
+	M float64
+}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(r *rng.Source) float64 { return r.Exp(e.M) }
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return e.M }
+
+// Weibull models lifetimes with aging (Shape > 1, wear-out) or infant
+// mortality (Shape < 1, the empirically observed HPC regime). Shape 1
+// degenerates to Exponential with mean Scale.
+type Weibull struct {
+	Shape float64 // k > 0
+	Scale float64 // lambda, seconds
+}
+
+// Sample implements Distribution by inverse-CDF:
+// lambda * (-ln(1-u))^(1/k).
+func (w Weibull) Sample(r *rng.Source) float64 {
+	if w.Shape <= 0 || w.Scale <= 0 {
+		panic(fmt.Sprintf("resil: Weibull(%v, %v) invalid", w.Shape, w.Scale))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+}
+
+// Mean implements Distribution: lambda * Gamma(1 + 1/k).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// Fixed is a deterministic duration — useful for repair times (a fixed
+// reboot/reintegration delay) and for exact-value tests.
+type Fixed struct {
+	D float64 // seconds
+}
+
+// Sample implements Distribution.
+func (f Fixed) Sample(*rng.Source) float64 { return f.D }
+
+// Mean implements Distribution.
+func (f Fixed) Mean() float64 { return f.D }
+
+// YoungInterval returns Young's first-order optimal checkpoint period
+// sqrt(2 * writeCost * mtbf), both arguments and the result in seconds.
+func YoungInterval(writeCost, mtbf float64) float64 {
+	return math.Sqrt(2 * writeCost * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order estimate of the optimal
+// checkpoint period (J. T. Daly, FGCS 2006): for writeCost < 2*mtbf,
+//
+//	tau = sqrt(2*d*M) * [1 + (1/3)sqrt(d/(2M)) + (1/9)(d/(2M))] - d
+//
+// and tau = mtbf otherwise. Arguments and result in seconds.
+func DalyInterval(writeCost, mtbf float64) float64 {
+	if writeCost >= 2*mtbf {
+		return mtbf
+	}
+	x := writeCost / (2 * mtbf)
+	return math.Sqrt(2*writeCost*mtbf)*(1+math.Sqrt(x)/3+x/9) - writeCost
+}

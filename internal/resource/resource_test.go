@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/resil"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -324,5 +325,221 @@ func TestSubmitValidation(t *testing.T) {
 func TestAssignModeString(t *testing.T) {
 	if Static.String() != "static" || Dynamic.String() != "dynamic" {
 		t.Fatal("mode strings wrong")
+	}
+}
+
+// --- resilience / requeue edge cases -------------------------------
+
+func TestBackfillOrderingInvariants(t *testing.T) {
+	// Queue: big head (needs whole pool while half is busy), then two
+	// small jobs that fit in the gap.
+	mk := func(backfill bool) (*sim.Engine, *Scheduler, []*Job) {
+		eng := sim.New()
+		pool := NewPool(4)
+		s := NewScheduler(eng, pool, Dynamic)
+		s.Backfill = backfill
+		blocker := &Job{ID: 0, Arrival: 0, Boosters: 2, Duration: 2 * sim.Second}
+		head := &Job{ID: 1, Arrival: sim.Millisecond, Boosters: 4, Duration: sim.Second}
+		small1 := &Job{ID: 2, Arrival: 2 * sim.Millisecond, Boosters: 1, Duration: sim.Second}
+		small2 := &Job{ID: 3, Arrival: 3 * sim.Millisecond, Boosters: 1, Duration: sim.Second}
+		jobs := []*Job{blocker, head, small1, small2}
+		for _, j := range jobs {
+			s.Submit(j)
+		}
+		return eng, s, jobs
+	}
+
+	// Strict FCFS: starts are in arrival order — the small jobs wait
+	// behind the infeasible head even though nodes are free.
+	eng, s, jobs := mk(false)
+	eng.Run()
+	if len(s.Completed()) != 4 {
+		t.Fatalf("FCFS completed %d", len(s.Completed()))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Start < jobs[i-1].Start {
+			t.Fatalf("FCFS started job %d (%v) before job %d (%v)",
+				jobs[i].ID, jobs[i].Start, jobs[i-1].ID, jobs[i-1].Start)
+		}
+	}
+	fcfsMakespan := s.Makespan()
+
+	// Backfill: the small jobs jump the infeasible head and run inside
+	// the blocker's window; the head is not starved and the makespan
+	// does not regress.
+	eng, s, jobs = mk(true)
+	eng.Run()
+	if len(s.Completed()) != 4 {
+		t.Fatalf("backfill completed %d", len(s.Completed()))
+	}
+	head, small1 := jobs[1], jobs[2]
+	if small1.Start >= head.Start {
+		t.Fatalf("small job did not backfill: start %v vs head %v", small1.Start, head.Start)
+	}
+	if head.End == 0 {
+		t.Fatal("head job starved by backfill")
+	}
+	if s.Makespan() > fcfsMakespan {
+		t.Fatalf("backfill makespan %v worse than FCFS %v", s.Makespan(), fcfsMakespan)
+	}
+}
+
+func TestStretchUnderPartialAllocation(t *testing.T) {
+	// Static job wants 8 boosters but its owner group has only 2: it
+	// runs on 2 for exactly want/got = 4x the nominal duration.
+	eng := sim.New()
+	pool := NewPool(8)
+	pool.PartitionOwners(2)
+	s := NewScheduler(eng, pool, Static)
+	j := &Job{ID: 0, Arrival: 0, Boosters: 8, Duration: sim.Second, Owner: 1}
+	s.Submit(j)
+	eng.Run()
+	if got := j.End - j.Start; got != 4*sim.Second {
+		t.Fatalf("partial allocation ran for %v, want 4s", got)
+	}
+	// unstretch inverts stretch for the same (want, got).
+	if unstretch(stretch(sim.Second, 8, 2), 8, 2) != sim.Second {
+		t.Fatal("unstretch does not invert stretch")
+	}
+	if unstretch(sim.Second, 4, 8) != sim.Second {
+		t.Fatal("surplus nodes should not scale unstretch")
+	}
+}
+
+func TestReleaseAfterFailureNoDoubleRelease(t *testing.T) {
+	// A node failure kills a running job: the kill path releases all
+	// its nodes immediately, and the job's already-scheduled finish
+	// event must become a no-op instead of releasing them again (the
+	// pool panics on double release).
+	eng := sim.New()
+	pool := NewPool(4)
+	s := NewScheduler(eng, pool, Dynamic)
+	j := &Job{ID: 0, Arrival: 0, Boosters: 4, Duration: 2 * sim.Second}
+	s.Submit(j)
+	eng.At(sim.Second, func() { s.NodeFailed(2) })
+	eng.At(1500*sim.Millisecond, func() { s.NodeRepaired(2) })
+	eng.Run()
+	if len(s.Completed()) != 1 {
+		t.Fatalf("completed %d", len(s.Completed()))
+	}
+	if j.Restarts != 1 || s.Requeued != 1 {
+		t.Fatalf("restarts %d requeued %d", j.Restarts, s.Requeued)
+	}
+	// No checkpointing: the whole 1 s of progress was lost and the job
+	// reran from scratch after the repair.
+	if j.End != 3500*sim.Millisecond {
+		t.Fatalf("end %v, want 3.5s (repair at 1.5s + full 2s rerun)", j.End)
+	}
+	if s.LostWork != sim.Second {
+		t.Fatalf("lost work %v, want 1s", s.LostWork)
+	}
+	if pool.Free() != 4 {
+		t.Fatalf("pool leaked: free = %d", pool.Free())
+	}
+}
+
+func TestFailureOnIdleNodeJustHealsPool(t *testing.T) {
+	eng := sim.New()
+	pool := NewPool(4)
+	s := NewScheduler(eng, pool, Dynamic)
+	eng.At(sim.Second, func() { s.NodeFailed(3) })
+	eng.At(2*sim.Second, func() { s.NodeRepaired(3) })
+	eng.Run()
+	if s.Requeued != 0 {
+		t.Fatalf("requeued %d with no running jobs", s.Requeued)
+	}
+	if pool.Free() != 4 {
+		t.Fatalf("free = %d after repair", pool.Free())
+	}
+}
+
+func TestCheckpointRestartLosesOnlyUncheckpointed(t *testing.T) {
+	// 10 s job, checkpoint every 2 s (write 0.2 s with buddy), failure
+	// at 5 s: checkpoints completed at 2.2 s and 4.4 s, so 4 s of work
+	// survives. After repair at 6 s the job restores (0.05 s) and runs
+	// the remaining 6 s with 2 more checkpoints: end = 6 + 0.05 + 6 +
+	// 0.4 = 12.45 s.
+	eng := sim.New()
+	pool := NewPool(1)
+	s := NewScheduler(eng, pool, Dynamic)
+	s.Ckpt = &resil.Checkpoint{
+		Interval:     2 * sim.Second,
+		LocalWrite:   100 * sim.Millisecond,
+		LocalRestore: 50 * sim.Millisecond,
+		Buddy:        true,
+	}
+	j := &Job{ID: 0, Arrival: 0, Boosters: 1, Duration: 10 * sim.Second}
+	s.Submit(j)
+	eng.At(5*sim.Second, func() { s.NodeFailed(0) })
+	eng.At(6*sim.Second, func() { s.NodeRepaired(0) })
+	eng.Run()
+	if len(s.Completed()) != 1 {
+		t.Fatalf("completed %d", len(s.Completed()))
+	}
+	if want := sim.FromSeconds(12.45); j.End != want {
+		t.Fatalf("end %v, want %v", j.End, want)
+	}
+	// Only the 0.6 s past the last checkpoint (plus its in-flight
+	// segment) was lost: elapsed 5 s minus 4 s saved.
+	if s.LostWork != sim.Second {
+		t.Fatalf("lost work %v, want 1s", s.LostWork)
+	}
+}
+
+func TestFailureDuringRestoreKeepsOldCheckpoint(t *testing.T) {
+	// A second failure during the restore phase must not destroy the
+	// surviving checkpoint: the job re-restores the same state.
+	eng := sim.New()
+	pool := NewPool(1)
+	s := NewScheduler(eng, pool, Dynamic)
+	s.Ckpt = &resil.Checkpoint{
+		Interval:     2 * sim.Second,
+		LocalWrite:   100 * sim.Millisecond,
+		LocalRestore: sim.Second, // slow restore so we can hit it
+		Buddy:        true,
+	}
+	j := &Job{ID: 0, Arrival: 0, Boosters: 1, Duration: 6 * sim.Second}
+	s.Submit(j)
+	// First failure at 3 s: one checkpoint (at 2.2 s) survives, 2 s saved.
+	eng.At(3*sim.Second, func() { s.NodeFailed(0) })
+	eng.At(3500*sim.Millisecond, func() { s.NodeRepaired(0) })
+	// Second failure at 4 s: attempt 2 started at 3.5 s and is 0.5 s
+	// into its 1 s restore — no new progress, checkpoint still valid.
+	eng.At(4*sim.Second, func() { s.NodeFailed(0) })
+	eng.At(4500*sim.Millisecond, func() { s.NodeRepaired(0) })
+	eng.Run()
+	if len(s.Completed()) != 1 {
+		t.Fatalf("completed %d", len(s.Completed()))
+	}
+	if j.Restarts != 2 {
+		t.Fatalf("restarts %d", j.Restarts)
+	}
+	// Attempt 3 at 4.5 s: restore 1 s + remaining 4 s + 1 checkpoint
+	// (at 2 s of the remaining work) 0.2 s = end 9.7 s.
+	if want := sim.FromSeconds(9.7); j.End != want {
+		t.Fatalf("end %v, want %v", j.End, want)
+	}
+}
+
+func TestStaticRequeueReturnsToOwnerGroup(t *testing.T) {
+	// A static job killed by a failure must requeue and re-run inside
+	// its owner's group once the node returns.
+	eng := sim.New()
+	pool := NewPool(4)
+	pool.PartitionOwners(2)
+	s := NewScheduler(eng, pool, Static)
+	j := &Job{ID: 0, Arrival: 0, Boosters: 2, Duration: 2 * sim.Second, Owner: 0}
+	s.Submit(j)
+	eng.At(sim.Second, func() { s.NodeFailed(0) })
+	eng.At(2*sim.Second, func() { s.NodeRepaired(0) })
+	eng.Run()
+	if len(s.Completed()) != 1 {
+		t.Fatalf("completed %d", len(s.Completed()))
+	}
+	if j.End != 4*sim.Second {
+		t.Fatalf("end %v, want 4s", j.End)
+	}
+	if pool.Free() != 4 {
+		t.Fatalf("free = %d", pool.Free())
 	}
 }

@@ -3,6 +3,7 @@ package resource
 import (
 	"fmt"
 
+	"repro/internal/resil"
 	"repro/internal/sim"
 )
 
@@ -21,7 +22,18 @@ type Job struct {
 	// Results, filled by the scheduler.
 	Start sim.Time
 	End   sim.Time
-	nodes []int
+	// Restarts counts how many times a node failure killed the job and
+	// forced a requeue.
+	Restarts int
+	nodes    []int
+
+	// Resilience bookkeeping (all zero on the perfect machine).
+	started      bool
+	remaining    sim.Time // nominal compute still owed
+	restore      sim.Time // restore cost owed at next start
+	attempt      int      // bumped on kill; invalidates the pending finish
+	attemptStart sim.Time
+	wallPlanned  sim.Time // planned wall of the current attempt
 }
 
 // Wait returns the job's queueing delay.
@@ -58,9 +70,24 @@ type Scheduler struct {
 	Policy   Policy
 	Backfill bool
 
+	// Ckpt, when non-nil, makes every job checkpoint per the model:
+	// checkpoint writes are charged against the job's wall time and a
+	// job killed by a node failure restarts from its last surviving
+	// checkpoint instead of from scratch. Nil models a perfect machine
+	// with free restarts-from-zero (only relevant under injection).
+	Ckpt *resil.Checkpoint
+
+	// Requeued counts failure-induced job kills; LostWork accumulates
+	// the wall time thrown away by them (elapsed run time minus the
+	// checkpointed progress that survived).
+	Requeued uint64
+	LostWork sim.Time
+
 	queue     []*Job
 	completed []*Job
-	busyArea  float64 // node-seconds of booster use
+	busyArea  float64      // node-seconds of booster occupancy
+	running   map[int]*Job // node id -> job, for failure targeting
+	ckptOK    bool         // Ckpt validated on first use
 }
 
 // NewScheduler returns a scheduler over the pool.
@@ -74,6 +101,7 @@ func (s *Scheduler) Submit(j *Job) {
 		panic(fmt.Sprintf("resource: job %d with %d boosters for %v", j.ID, j.Boosters, j.Duration))
 	}
 	s.Eng.At(j.Arrival, func() {
+		j.remaining = j.Duration
 		s.queue = append(s.queue, j)
 		s.dispatch()
 	})
@@ -81,6 +109,12 @@ func (s *Scheduler) Submit(j *Job) {
 
 // tryAlloc attempts to start job j now.
 func (s *Scheduler) tryAlloc(j *Job) bool {
+	if s.Ckpt != nil && !s.ckptOK {
+		if err := s.Ckpt.Validate(); err != nil {
+			panic(fmt.Sprintf("resource: %v", err))
+		}
+		s.ckptOK = true
+	}
 	var ids []int
 	var err error
 	switch s.Mode {
@@ -94,9 +128,10 @@ func (s *Scheduler) tryAlloc(j *Job) bool {
 		if want == 0 {
 			// No accelerators at all: the job runs unaccelerated for a
 			// stretched duration; model as 1-node-equivalent busy with
-			// no pool usage.
-			j.Start = s.Eng.Now()
-			dur := stretch(j.Duration, j.Boosters, 1)
+			// no pool usage (and no exposure to booster failures).
+			s.markStart(j)
+			dur := stretch(j.remaining, j.Boosters, 1)
+			j.wallPlanned = dur
 			s.finishAt(j, dur)
 			return true
 		}
@@ -108,22 +143,113 @@ func (s *Scheduler) tryAlloc(j *Job) bool {
 		return false
 	}
 	j.nodes = ids
-	j.Start = s.Eng.Now()
-	dur := stretch(j.Duration, j.Boosters, len(ids))
-	s.busyArea += float64(len(ids)) * dur.Seconds()
-	s.finishAt(j, dur)
+	s.markStart(j)
+	work := stretch(j.remaining, j.Boosters, len(ids))
+	wall := work
+	if s.Ckpt != nil {
+		wall = j.restore + s.Ckpt.RunWall(work)
+	}
+	j.wallPlanned = wall
+	if s.running == nil {
+		s.running = make(map[int]*Job)
+	}
+	for _, id := range ids {
+		s.running[id] = j
+	}
+	s.busyArea += float64(len(ids)) * wall.Seconds()
+	s.finishAt(j, wall)
 	return true
 }
 
+// markStart records the attempt start and, on the first attempt, the
+// job's dispatch time (the end of its queueing delay).
+func (s *Scheduler) markStart(j *Job) {
+	j.attemptStart = s.Eng.Now()
+	if !j.started {
+		j.started = true
+		j.Start = s.Eng.Now()
+	}
+}
+
 func (s *Scheduler) finishAt(j *Job, dur sim.Time) {
+	att := j.attempt
 	s.Eng.After(dur, func() {
+		if j.attempt != att {
+			// The job was killed by a node failure after this finish
+			// was scheduled; its nodes were already released on the
+			// kill path, so the stale event must not touch them.
+			return
+		}
 		j.End = s.Eng.Now()
+		j.remaining = 0
 		if j.nodes != nil {
+			for _, id := range j.nodes {
+				delete(s.running, id)
+			}
 			s.Pool.Release(j.nodes)
+			j.nodes = nil
 		}
 		s.completed = append(s.completed, j)
 		s.dispatch()
 	})
+}
+
+// NodeFailed implements resil.NodeTarget: the job running on the node
+// (if any) is killed and requeued at the head of the queue, and the
+// node leaves service until NodeRepaired.
+func (s *Scheduler) NodeFailed(id int) {
+	if j, ok := s.running[id]; ok {
+		s.kill(j)
+	}
+	// After the kill the node is free; a repeated failure while already
+	// down is ignored.
+	_ = s.Pool.MarkDown(id)
+	s.dispatch()
+}
+
+// NodeRepaired implements resil.NodeTarget: the node rejoins the pool
+// and the queue is re-dispatched (self-healing).
+func (s *Scheduler) NodeRepaired(id int) {
+	_ = s.Pool.Repair(id)
+	s.dispatch()
+}
+
+// kill tears down a running job after one of its nodes failed: all its
+// nodes are released (the failed one is marked down by the caller),
+// checkpointed progress is credited against its remaining work, and
+// the job is requeued with priority.
+func (s *Scheduler) kill(j *Job) {
+	elapsed := s.Eng.Now() - j.attemptStart
+	got := len(j.nodes)
+	// Return the occupancy this attempt will no longer use.
+	s.busyArea -= float64(got) * (j.wallPlanned - elapsed).Seconds()
+	var savedWall sim.Time
+	if s.Ckpt != nil {
+		if computeElapsed := elapsed - j.restore; computeElapsed > 0 {
+			saved, restore := s.Ckpt.Progress(computeElapsed)
+			if saved > 0 {
+				savedWall = saved
+				nominal := unstretch(saved, j.Boosters, got)
+				if nominal > j.remaining {
+					nominal = j.remaining
+				}
+				j.remaining -= nominal
+				j.restore = restore
+			}
+			// With no surviving checkpoint the previous one (if any)
+			// stays valid: remaining and restore are left untouched.
+		}
+	}
+	s.LostWork += elapsed - savedWall
+	for _, id := range j.nodes {
+		delete(s.running, id)
+	}
+	s.Pool.Release(j.nodes)
+	j.nodes = nil
+	j.attempt++
+	j.Restarts++
+	s.Requeued++
+	s.queue = append([]*Job{j}, s.queue...)
 }
 
 // stretch scales the nominal duration when a job runs on fewer
@@ -133,6 +259,15 @@ func stretch(d sim.Time, want, got int) sim.Time {
 		return d
 	}
 	return sim.Time(float64(d) * float64(want) / float64(got))
+}
+
+// unstretch converts wall progress on got nodes back into nominal
+// (want-node) work — the inverse of stretch.
+func unstretch(d sim.Time, want, got int) sim.Time {
+	if got >= want {
+		return d
+	}
+	return sim.Time(float64(d) * float64(got) / float64(want))
 }
 
 // dispatch starts every queued job it can, honouring FCFS order with
