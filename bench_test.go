@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -17,9 +18,14 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	ctx := context.Background()
+	cfg := expt.DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab := e.Run()
+		tab, err := e.Run(ctx, cfg)
+		if err != nil {
+			b.Fatalf("%s failed: %v", id, err)
+		}
 		if len(tab.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}

@@ -1,62 +1,87 @@
 // Command deepbench regenerates every table/figure of the paper
-// reproduction. With no flags it runs all experiments; -run selects a
-// comma-separated subset; -csv switches to CSV output; -list shows the
-// registry.
+// reproduction through the public deep SDK. With no flags it runs all
+// experiments serially and prints aligned tables — byte-identical to
+// the historical output; flags select subsets, output formats,
+// parallelism and workload overrides.
 //
-//	deepbench                 # all experiments, aligned tables
-//	deepbench -run E01,E08    # two experiments
-//	deepbench -csv -run E04   # machine-readable series
+//	deepbench                      # all experiments, aligned tables
+//	deepbench -run E01,E08         # two experiments
+//	deepbench -csv -run E04        # machine-readable series
+//	deepbench -json -parallel 8    # full registry as JSON, 8 workers
+//	deepbench -seed 7 -scale 2     # reseeded, double-size workloads
+//	deepbench -list                # show the registry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/expt"
+	"repro/deep"
 )
 
 func main() {
-	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	listFlag := flag.Bool("list", false, "list registered experiments and exit")
+	var (
+		runFlag      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvFlag      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag     = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		listFlag     = flag.Bool("list", false, "list registered experiments and exit")
+		parallelFlag = flag.Int("parallel", 1, "number of experiments to run concurrently")
+		seedFlag     = flag.Uint64("seed", 0, "override the published seed of seeded experiments (0: keep)")
+		scaleFlag    = flag.Float64("scale", 1, "scale factor for experiment workload sizes")
+	)
 	flag.Parse()
 
 	if *listFlag {
-		for _, e := range expt.All() {
+		for _, e := range deep.Experiments() {
 			fmt.Printf("%s  %-55s [%s]\n", e.ID, e.Title, e.PaperRef)
 		}
 		return
 	}
+	if *csvFlag && *jsonFlag {
+		fmt.Fprintln(os.Stderr, "deepbench: -csv and -json are mutually exclusive")
+		os.Exit(1)
+	}
 
 	var ids []string
-	if *runFlag == "" {
-		ids = expt.IDs()
-	} else {
-		for _, id := range strings.Split(*runFlag, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+	for _, id := range strings.Split(*runFlag, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
 	}
-	for i, id := range ids {
-		e, ok := expt.Get(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "deepbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
-		}
-		tab := e.Run()
-		var err error
-		if *csvFlag {
-			err = tab.CSV(os.Stdout)
-		} else {
-			if i > 0 {
-				fmt.Println()
-			}
-			err = tab.Render(os.Stdout)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
-			os.Exit(1)
-		}
+	if *runFlag != "" && len(ids) == 0 {
+		fmt.Fprintf(os.Stderr, "deepbench: -run %q names no experiments (try -list)\n", *runFlag)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag}
+	rep, runErr := runner.Run(ctx, ids...)
+	if rep == nil {
+		fmt.Fprintf(os.Stderr, "deepbench: %v (try -list)\n", runErr)
+		os.Exit(1)
+	}
+
+	var sink deep.Sink = deep.TableSink{}
+	switch {
+	case *csvFlag:
+		sink = deep.CSVSink{}
+	case *jsonFlag:
+		sink = deep.JSONSink{Indent: true}
+	}
+	if err := sink.Write(os.Stdout, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+		os.Exit(1)
+	}
+	// JSON reports carry per-run errors inline too, but the exit
+	// status reflects failure in every format.
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "deepbench: %v\n", runErr)
+		os.Exit(1)
 	}
 }

@@ -1,30 +1,29 @@
 // Command deeprun executes one of the real application workloads on
 // the functional Global-MPI runtime over the modelled DEEP machine and
 // reports both numerical verification and the modelled execution time.
+// It is a thin shell over the public deep SDK: one Machine, one
+// Workload, one Run.
 //
 //	deeprun -app cholesky -n 64 -ts 16 -workers 8
 //	deeprun -app spmv -nx 32 -ny 32 -iters 10 -ranks 4
 //	deeprun -app stencil -nx 64 -ny 64 -iters 20 -ranks 8
+//	deeprun -app nbody -n 64 -iters 10 -ranks 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 
-	"repro/internal/apps"
-	"repro/internal/cbp"
-	"repro/internal/linalg"
-	"repro/internal/mpi"
-	"repro/internal/ompss"
-	"repro/internal/rng"
+	"repro/deep"
 )
 
 func main() {
 	var (
 		app     = flag.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody")
-		n       = flag.Int("n", 64, "cholesky matrix dimension")
+		n       = flag.Int("n", 64, "cholesky matrix dimension / nbody body count")
 		ts      = flag.Int("ts", 16, "cholesky tile size")
 		workers = flag.Int("workers", 8, "cholesky OmpSs workers")
 		nx      = flag.Int("nx", 32, "grid X dimension")
@@ -35,180 +34,47 @@ func main() {
 	)
 	flag.Parse()
 
-	var err error
+	var w deep.Workload
 	switch *app {
 	case "cholesky":
-		err = runCholesky(*n, *ts, *workers, *seed)
+		w = deep.Cholesky{N: *n, TileSize: *ts, Workers: *workers}
 	case "spmv":
-		err = runSpMV(*nx, *ny, *iters, *ranks)
+		w = deep.SpMV{NX: *nx, NY: *ny, Iters: *iters}
 	case "stencil":
-		err = runStencil(*nx, *ny, *iters, *ranks)
+		w = deep.Stencil{NX: *nx, NY: *ny, Iters: *iters}
 	case "nbody":
-		err = runNBody(*n, *iters, *ranks)
+		w = deep.NBody{N: *n, Steps: *iters}
 	default:
-		err = fmt.Errorf("unknown app %q", *app)
+		fmt.Fprintf(os.Stderr, "deeprun: unknown app %q\n", *app)
+		os.Exit(1)
 	}
+
+	// The machine sizes each fabric to hold one rank per node, like
+	// the original hand-wired runs did.
+	m, err := deep.NewMachine(
+		deep.WithClusterNodes(max(*ranks, 2)),
+		deep.WithBoosterNodes(max(*ranks, 2)),
+		deep.WithClusterRanks(*ranks),
+		deep.WithSeed(*seed),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
 		os.Exit(1)
 	}
-}
 
-func runCholesky(n, ts, workers int, seed uint64) error {
-	r := rng.New(seed)
-	src := linalg.SPDMatrix(n, r.Float64)
-	ref := src.Clone()
-	if err := linalg.CholeskyRef(ref); err != nil {
-		return err
-	}
-	c, err := apps.NewCholesky(src, ts)
-	if err != nil {
-		return err
-	}
-	rt := ompss.New(workers, ompss.WithRecording())
-	err = c.RunDataflow(rt)
-	st := rt.Stats()
-	rt.Shutdown()
-	if err != nil {
-		return err
-	}
-	got := c.Result()
-	maxDiff := 0.0
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			if d := math.Abs(got.At(i, j) - ref.At(i, j)); d > maxDiff {
-				maxDiff = d
-			}
-		}
-	}
-	fmt.Printf("cholesky n=%d ts=%d workers=%d\n", n, ts, workers)
-	fmt.Printf("  tasks=%d edges=%d max-ready=%d\n", st.Submitted, st.Edges, st.MaxReady)
-	fmt.Printf("  kernels: potrf=%d trsm=%d gemm=%d syrk=%d\n",
-		st.ByName["potrf"], st.ByName["trsm"], st.ByName["gemm"], st.ByName["syrk"])
-	fmt.Printf("  max |L - Lref| = %.3e\n", maxDiff)
-	if maxDiff > 1e-8 {
-		return fmt.Errorf("verification failed: error %g", maxDiff)
-	}
-	fmt.Println("  VERIFIED")
-	return nil
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-func runSpMV(nx, ny, iters, ranks int) error {
-	s := &apps.SpMV{NX: nx, NY: ny, Iters: iters}
-	want := s.RunSequential()
-	results := make([][]float64, ranks)
-	tr := cbp.NewDeepTransport(maxInt(ranks, 2), maxInt(ranks, 2))
-	makespan, err := mpi.Run(ranks, tr, func(c *mpi.Comm) error {
-		out, err := s.Run(c)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = out
-		return nil
-	})
+	res, err := deep.Run(ctx, m.NewEnv(), w)
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
+		os.Exit(1)
 	}
-	var got []float64
-	for _, r := range results {
-		got = append(got, r...)
+	if err := res.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
+		os.Exit(1)
 	}
-	maxDiff := 0.0
-	for i := range want {
-		if d := math.Abs(got[i] - want[i]); d > maxDiff {
-			maxDiff = d
-		}
+	if !res.Verified {
+		os.Exit(1)
 	}
-	fmt.Printf("spmv %dx%d iters=%d ranks=%d\n", nx, ny, iters, ranks)
-	fmt.Printf("  modelled time = %v\n", makespan)
-	fmt.Printf("  max |x - xref| = %.3e\n", maxDiff)
-	if maxDiff > 1e-9 {
-		return fmt.Errorf("verification failed: error %g", maxDiff)
-	}
-	fmt.Println("  VERIFIED")
-	return nil
-}
-
-func runStencil(nx, ny, iters, ranks int) error {
-	s := &apps.Stencil2D{NX: nx, NY: ny, Iters: iters}
-	want := s.RunSequential()
-	results := make([][]float64, ranks)
-	tr := cbp.NewDeepTransport(maxInt(ranks, 2), maxInt(ranks, 2))
-	makespan, err := mpi.Run(ranks, tr, func(c *mpi.Comm) error {
-		out, err := s.Run(c)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = out
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	var got []float64
-	for _, r := range results {
-		got = append(got, r...)
-	}
-	maxDiff := 0.0
-	for i := range want {
-		if d := math.Abs(got[i] - want[i]); d > maxDiff {
-			maxDiff = d
-		}
-	}
-	fmt.Printf("stencil %dx%d iters=%d ranks=%d\n", nx, ny, iters, ranks)
-	fmt.Printf("  modelled time = %v\n", makespan)
-	fmt.Printf("  halo bytes/iter/rank = %d\n", s.HaloBytesPerIter())
-	fmt.Printf("  max |u - uref| = %.3e\n", maxDiff)
-	if maxDiff > 1e-9 {
-		return fmt.Errorf("verification failed: error %g", maxDiff)
-	}
-	fmt.Println("  VERIFIED")
-	return nil
-}
-
-func runNBody(n, steps, ranks int) error {
-	if n%ranks != 0 {
-		n = (n/ranks + 1) * ranks // round up to a divisible body count
-	}
-	s := &apps.NBody{N: n, Steps: steps, DT: 0.01}
-	want := s.RunSequential()
-	results := make([][]float64, ranks)
-	tr := cbp.NewDeepTransport(maxInt(ranks, 2), maxInt(ranks, 2))
-	makespan, err := mpi.Run(ranks, tr, func(c *mpi.Comm) error {
-		out, err := s.Run(c)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = out
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	var got []float64
-	for _, r := range results {
-		got = append(got, r...)
-	}
-	maxDiff := 0.0
-	for i := range want {
-		if d := math.Abs(got[i] - want[i]); d > maxDiff {
-			maxDiff = d
-		}
-	}
-	fmt.Printf("nbody n=%d steps=%d ranks=%d\n", n, steps, ranks)
-	fmt.Printf("  modelled time = %v\n", makespan)
-	fmt.Printf("  allgather volume/step = %d B\n", s.CommBytesPerStep())
-	fmt.Printf("  max |p - pref| = %.3e\n", maxDiff)
-	if maxDiff > 1e-9 {
-		return fmt.Errorf("verification failed: error %g", maxDiff)
-	}
-	fmt.Println("  VERIFIED")
-	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

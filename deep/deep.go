@@ -1,0 +1,211 @@
+// Package deep is the public SDK of the DEEP Cluster-Booster
+// reproduction (Eicker, Lippert, Suarez, Moschny — ICPP/HUCAA 2013)
+// and the one supported way to build and run everything in this
+// repository.
+//
+// Three concepts compose:
+//
+//   - Machine — an immutable description of a modelled DEEP system
+//     (cluster/booster node counts, booster torus shape, offload
+//     worker group, fault injection), built with NewMachine and
+//     functional options.
+//   - Workload — anything that can execute on a Machine and verify
+//     itself: the four applications (Cholesky, SpMV, Stencil, NBody),
+//     kernel offloading (Offload), and booster job scheduling
+//     (ScheduledJobs). Every workload runs through
+//     Run(ctx, *Env) (*Result, error).
+//   - Runner — the context-aware parallel driver of the experiment
+//     registry (every table/figure of the paper reproduction),
+//     producing a Report that pluggable sinks render as aligned
+//     tables, CSV, or JSON.
+//
+// A minimal session:
+//
+//	m, _ := deep.NewMachine(deep.WithBoosterNodes(27))
+//	res, err := deep.Run(ctx, m.NewEnv(), deep.SpMV{NX: 32, NY: 32, Iters: 10})
+//	...
+//	rep, err := (&deep.Runner{Parallel: 8}).Run(ctx, "E01", "E04")
+//	deep.JSONSink{}.Write(os.Stdout, rep)
+package deep
+
+import (
+	"fmt"
+
+	"repro/internal/cbp"
+)
+
+// Machine is an immutable description of one modelled DEEP system.
+// Build it with NewMachine; the zero value is not usable.
+type Machine struct {
+	clusterNodes   int
+	boosterNodes   int
+	torusX         int // 0 = near-cubic auto shape
+	torusY, torusZ int
+	clusterRanks   int
+	boosterWorkers int
+	seed           uint64
+	modelCompute   bool
+	faults         *FaultPlan
+}
+
+// FaultPlan configures the machine's fault injector: booster nodes
+// fail and are repaired while workloads run. A nil plan (the default)
+// models a perfect machine.
+type FaultPlan struct {
+	// NodeMTBF is the per-node mean time between failures in seconds;
+	// zero disables injection.
+	NodeMTBF float64
+	// WeibullShape, when non-zero, draws times-to-failure from a
+	// Weibull distribution with this shape (shape < 1 models infant
+	// mortality); zero uses the exponential distribution.
+	WeibullShape float64
+	// Repair is the fixed node repair time in seconds.
+	Repair float64
+	// Horizon bounds the injection window in seconds; zero means 600.
+	Horizon float64
+	// Seed seeds the failure trace; zero uses the machine seed.
+	Seed uint64
+}
+
+// Option configures a Machine under construction.
+type Option func(*Machine)
+
+// WithClusterNodes sets the number of Xeon-class Cluster Nodes on the
+// InfiniBand fat tree (default 8).
+func WithClusterNodes(n int) Option { return func(m *Machine) { m.clusterNodes = n } }
+
+// WithBoosterNodes sets the number of KNC-class Booster Nodes on the
+// EXTOLL torus (default 32); the torus takes a near-cubic shape.
+func WithBoosterNodes(n int) Option {
+	return func(m *Machine) { m.boosterNodes = n; m.torusX, m.torusY, m.torusZ = 0, 0, 0 }
+}
+
+// WithBoosterTorus pins the booster EXTOLL topology to an explicit
+// x*y*z 3D torus (and therefore the booster node count to x*y*z).
+func WithBoosterTorus(x, y, z int) Option {
+	return func(m *Machine) {
+		m.boosterNodes = x * y * z
+		m.torusX, m.torusY, m.torusZ = x, y, z
+	}
+}
+
+// WithClusterRanks sets the default number of application (main-part)
+// processes an Env starts with (default 2).
+func WithClusterRanks(n int) Option { return func(m *Machine) { m.clusterRanks = n } }
+
+// WithBoosterWorkers sets the size of the spawned booster worker
+// group Offload workloads use (default 8, clamped to the booster
+// node count).
+func WithBoosterWorkers(n int) Option { return func(m *Machine) { m.boosterWorkers = n } }
+
+// WithSeed sets the machine's base RNG seed (default 42); per-run
+// seeds derive from it unless an Env overrides them.
+func WithSeed(seed uint64) Option { return func(m *Machine) { m.seed = seed } }
+
+// WithModelCompute charges offloaded kernels the KNC node-model
+// compute time, so virtual clocks reflect computation as well as
+// communication.
+func WithModelCompute() Option { return func(m *Machine) { m.modelCompute = true } }
+
+// WithFaultInjector attaches a fault plan to the machine; workloads
+// that schedule booster jobs (ScheduledJobs) run under it.
+func WithFaultInjector(p FaultPlan) Option {
+	return func(m *Machine) { cp := p; m.faults = &cp }
+}
+
+// NewMachine builds a validated DEEP machine description.
+func NewMachine(opts ...Option) (*Machine, error) {
+	m := &Machine{
+		clusterNodes: 8,
+		boosterNodes: 32,
+		clusterRanks: 2,
+		seed:         42,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.boosterWorkers == 0 {
+		// Default worker group: 8, clamped to the booster size.
+		m.boosterWorkers = min(8, m.boosterNodes)
+	}
+	if m.clusterNodes < 1 || m.boosterNodes < 1 {
+		return nil, fmt.Errorf("deep: machine needs at least one node per side, got %d cluster / %d booster",
+			m.clusterNodes, m.boosterNodes)
+	}
+	if m.clusterRanks < 1 {
+		return nil, fmt.Errorf("deep: machine needs at least one cluster rank, got %d", m.clusterRanks)
+	}
+	if m.boosterWorkers < 1 {
+		return nil, fmt.Errorf("deep: machine needs at least one booster worker, got %d", m.boosterWorkers)
+	}
+	if m.boosterWorkers > m.boosterNodes {
+		return nil, fmt.Errorf("deep: %d booster workers exceed %d booster nodes",
+			m.boosterWorkers, m.boosterNodes)
+	}
+	if m.torusX < 0 || m.torusY < 0 || m.torusZ < 0 {
+		return nil, fmt.Errorf("deep: invalid booster torus %dx%dx%d", m.torusX, m.torusY, m.torusZ)
+	}
+	if f := m.faults; f != nil {
+		if f.NodeMTBF < 0 || f.Repair < 0 || f.Horizon < 0 || f.WeibullShape < 0 {
+			return nil, fmt.Errorf("deep: fault plan has negative parameters: %+v", *f)
+		}
+	}
+	return m, nil
+}
+
+// ClusterNodes returns the cluster side size.
+func (m *Machine) ClusterNodes() int { return m.clusterNodes }
+
+// BoosterNodes returns the booster side size.
+func (m *Machine) BoosterNodes() int { return m.boosterNodes }
+
+// BoosterWorkers returns the offload worker group size.
+func (m *Machine) BoosterWorkers() int { return m.boosterWorkers }
+
+// Seed returns the machine's base RNG seed.
+func (m *Machine) Seed() uint64 { return m.seed }
+
+// String summarises the machine configuration.
+func (m *Machine) String() string {
+	return fmt.Sprintf("deep machine: %d cluster nodes (fat tree) + %d booster nodes (torus), %d ranks, %d workers",
+		m.clusterNodes, m.boosterNodes, m.clusterRanks, m.boosterWorkers)
+}
+
+// transport builds the Global-MPI cost model of this machine: cluster
+// fat tree, booster torus, and the Booster Interface between them.
+func (m *Machine) transport() *cbp.DeepTransport {
+	return cbp.NewDeepTransport(m.clusterNodes, m.boosterNodes)
+}
+
+// NewEnv returns an execution environment with the machine's default
+// rank count and seed; adjust the fields before running a workload.
+func (m *Machine) NewEnv() *Env {
+	return &Env{Machine: m, Ranks: m.clusterRanks, Seed: m.seed}
+}
+
+// Env is the execution environment a Workload runs in: which machine,
+// how many Global-MPI ranks, which seed, and where the ranks live.
+type Env struct {
+	// Machine is the modelled system to run on.
+	Machine *Machine
+	// Ranks is the number of Global-MPI processes. With the default
+	// cluster placement it must not exceed Machine.ClusterNodes();
+	// booster placement wraps ranks over the booster nodes.
+	Ranks int
+	// Seed is the run's RNG seed (problem-data generation).
+	Seed uint64
+	// PlaceOnBooster places the ranks on booster nodes (EXTOLL costs)
+	// instead of cluster nodes (InfiniBand costs).
+	PlaceOnBooster bool
+}
+
+// validate reports whether the environment can execute a workload.
+func (e *Env) validate() error {
+	if e == nil || e.Machine == nil {
+		return fmt.Errorf("deep: workload run needs an Env built from a Machine (see Machine.NewEnv)")
+	}
+	if e.Ranks < 1 {
+		return fmt.Errorf("deep: %d ranks", e.Ranks)
+	}
+	return nil
+}

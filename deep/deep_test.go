@@ -1,0 +1,281 @@
+package deep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/deep"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []deep.Option
+	}{
+		{"no cluster nodes", []deep.Option{deep.WithClusterNodes(0)}},
+		{"no booster nodes", []deep.Option{deep.WithBoosterNodes(0)}},
+		{"no ranks", []deep.Option{deep.WithClusterRanks(0)}},
+		{"workers exceed boosters", []deep.Option{deep.WithBoosterNodes(4), deep.WithBoosterWorkers(8)}},
+		{"negative fault plan", []deep.Option{deep.WithFaultInjector(deep.FaultPlan{NodeMTBF: -1})}},
+	}
+	for _, c := range cases {
+		if _, err := deep.NewMachine(c.opts...); err == nil {
+			t.Errorf("%s: NewMachine accepted an invalid configuration", c.name)
+		}
+	}
+	m, err := deep.NewMachine()
+	if err != nil {
+		t.Fatalf("default machine invalid: %v", err)
+	}
+	if m.ClusterNodes() != 8 || m.BoosterNodes() != 32 || m.BoosterWorkers() != 8 {
+		t.Fatalf("unexpected defaults: %v", m)
+	}
+	// Small machines clamp the default worker group instead of failing.
+	small, err := deep.NewMachine(deep.WithBoosterNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.BoosterWorkers() != 2 {
+		t.Fatalf("worker group not clamped: %d", small.BoosterWorkers())
+	}
+}
+
+// TestWorkloadsVerifyOnDefaults runs every application workload on a
+// small machine and checks self-verification.
+func TestWorkloadsVerifyOnDefaults(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithClusterNodes(4), deep.WithBoosterNodes(8), deep.WithClusterRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, w := range []deep.Workload{
+		deep.Cholesky{N: 32, TileSize: 8, Workers: 4},
+		deep.SpMV{NX: 16, NY: 16, Iters: 4},
+		deep.Stencil{NX: 16, NY: 16, Iters: 4},
+		deep.NBody{N: 16, Steps: 3},
+	} {
+		res, err := deep.Run(ctx, m.NewEnv(), w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if !res.Checked || !res.Verified {
+			t.Fatalf("%s: not verified (checked=%v, err=%g)", w.Name(), res.Checked, res.MaxError)
+		}
+		if res.Workload != w.Name() {
+			t.Fatalf("result workload %q, want %q", res.Workload, w.Name())
+		}
+	}
+}
+
+// TestNBodyRoundsUpAndReports guards the satellite fix: a body count
+// that does not divide over the ranks is rounded up and the result
+// says so, instead of silently reporting a different N.
+func TestNBodyRoundsUpAndReports(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithClusterRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deep.Run(context.Background(), m.NewEnv(), deep.NBody{N: 10, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary, "n=12") {
+		t.Fatalf("summary %q does not reflect the adjusted body count", res.Summary)
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "rounded up from 10 to 12") {
+		t.Fatalf("adjustment not reported: %v", res.Notes)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rounded up from 10 to 12") {
+		t.Fatalf("WriteText does not surface the adjustment:\n%s", buf.String())
+	}
+}
+
+// TestRanksBeyondClusterRejected: identity placement must not spill
+// ranks past the cluster fabric (they would silently be charged
+// booster/gateway costs).
+func TestRanksBeyondClusterRejected(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithClusterNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := m.NewEnv()
+	env.Ranks = 16
+	if _, err := deep.Run(context.Background(), env, deep.SpMV{NX: 16, NY: 16, Iters: 2}); err == nil {
+		t.Fatal("16 ranks on a 4-cluster-node machine accepted with cluster placement")
+	}
+	// Booster placement wraps explicitly and stays legal.
+	env.PlaceOnBooster = true
+	if _, err := deep.Run(context.Background(), env, deep.SpMV{NX: 16, NY: 16, Iters: 2}); err != nil {
+		t.Fatalf("booster placement rejected: %v", err)
+	}
+}
+
+// TestOffloadRejectsAmbiguousKernels checks the Fn/Reverse contract.
+func TestOffloadRejectsAmbiguousKernels(t *testing.T) {
+	m, err := deep.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deep.Run(context.Background(), m.NewEnv(), deep.Offload{}); err == nil {
+		t.Fatal("offload with neither Fn nor Reverse accepted")
+	}
+}
+
+// TestScheduledJobsUnderFaults runs a job mix on a faulty machine and
+// checks that failures were injected and all jobs still completed.
+func TestScheduledJobsUnderFaults(t *testing.T) {
+	m, err := deep.NewMachine(
+		deep.WithBoosterNodes(16),
+		deep.WithFaultInjector(deep.FaultPlan{NodeMTBF: 50, Repair: 2, Horizon: 300, Seed: 9}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]deep.Job, 12)
+	for i := range jobs {
+		jobs[i] = deep.Job{ID: i, Arrival: float64(i), Duration: 5, Boosters: 1 + i%4}
+	}
+	res, err := deep.Run(context.Background(), m.NewEnv(),
+		deep.ScheduledJobs{Jobs: jobs, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("jobs lost under faults: %v", res.Notes)
+	}
+	if failures, _ := res.Metric("node_failures"); failures == 0 {
+		t.Fatal("fault plan injected no failures")
+	}
+	if _, ok := res.Metric("requeues"); !ok {
+		t.Fatal("missing requeues metric")
+	}
+}
+
+// TestScheduledJobsContiguousNeedsTorus checks the topology option
+// contract.
+func TestScheduledJobsContiguousNeedsTorus(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithBoosterNodes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = deep.Run(context.Background(), m.NewEnv(),
+		deep.ScheduledJobs{Jobs: []deep.Job{{Duration: 1, Boosters: 1}}, Dynamic: true, Contiguous: true})
+	if err == nil {
+		t.Fatal("contiguous allocation accepted without a torus machine")
+	}
+}
+
+// TestRunnerParallelMatchesSerial: the parallel runner must produce
+// the identical report (order and bytes) as the serial one.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	ids := []string{"E01", "E04", "E06", "E12", "A03"}
+	ctx := context.Background()
+	serial, err := (&deep.Runner{}).Run(ctx, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&deep.Runner{Parallel: 8}).Run(ctx, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := (deep.TableSink{}).Write(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := (deep.TableSink{}).Write(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("parallel report differs from serial report")
+	}
+	for i, r := range parallel.Results {
+		if r.ID != ids[i] {
+			t.Fatalf("result %d is %s, want %s (order lost)", i, r.ID, ids[i])
+		}
+	}
+}
+
+func TestRunnerUnknownExperiment(t *testing.T) {
+	if _, err := (&deep.Runner{}).Run(context.Background(), "E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := (&deep.Runner{Parallel: 4}).Run(ctx, "E01", "E04")
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	for _, r := range rep.Results {
+		if r.Err == nil && r.Table == nil {
+			t.Fatalf("%s: neither table nor error recorded", r.ID)
+		}
+	}
+}
+
+// TestJSONSinkFullRegistry: the acceptance-criteria path — JSON for
+// every registered experiment must parse and carry every table.
+func TestJSONSinkFullRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	rep, err := (&deep.Runner{Parallel: 8}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (deep.JSONSink{Indent: true}).Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		ID    string `json:"id"`
+		Table *struct {
+			Rows [][]string `json:"rows"`
+		} `json:"table"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != len(deep.ExperimentIDs()) {
+		t.Fatalf("JSON has %d results, registry has %d", len(decoded), len(deep.ExperimentIDs()))
+	}
+	for _, d := range decoded {
+		if d.Error != "" || d.Table == nil || len(d.Table.Rows) == 0 {
+			t.Fatalf("%s: incomplete JSON result (err=%q)", d.ID, d.Error)
+		}
+	}
+}
+
+// TestRunnerSeedOverridePropagates: a Runner seed must reach seeded
+// experiments and change their output.
+func TestRunnerSeedOverridePropagates(t *testing.T) {
+	ctx := context.Background()
+	a, err := (&deep.Runner{}).Run(ctx, "E02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&deep.Runner{Seed: 1234}).Run(ctx, "E02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := (deep.CSVSink{}).Write(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := (deep.CSVSink{}).Write(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() == bufB.String() {
+		t.Fatal("seed override did not change E02")
+	}
+}

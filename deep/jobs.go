@@ -1,0 +1,185 @@
+package deep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cbp"
+	"repro/internal/resil"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Job is one booster allocation request for the ScheduledJobs
+// workload. Times are in seconds of virtual time.
+type Job struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival_s"`
+	Duration float64 `json:"duration_s"`
+	// Boosters is the number of booster nodes the job needs.
+	Boosters int `json:"boosters"`
+	// Owner is the cluster node that owns the job (static assignment
+	// binds it to the owner's boosters).
+	Owner int `json:"owner"`
+}
+
+// Checkpointing configures multi-level checkpoint/restart for
+// scheduled jobs. Times are in seconds.
+type Checkpointing struct {
+	// Interval between checkpoints; zero disables checkpointing.
+	Interval float64
+	// Write and Restore are the local-SSD costs.
+	Write, Restore float64
+	// Buddy replicates each checkpoint to a partner node (doubling the
+	// effective write cost, surviving single-node loss).
+	Buddy bool
+}
+
+// DalyInterval returns Daly's higher-order optimum checkpoint
+// interval in seconds for the given effective write cost and MTBF.
+func DalyInterval(writeSeconds, mtbfSeconds float64) float64 {
+	return resil.DalyInterval(writeSeconds, mtbfSeconds)
+}
+
+// YoungInterval returns Young's first-order optimum checkpoint
+// interval in seconds.
+func YoungInterval(writeSeconds, mtbfSeconds float64) float64 {
+	return resil.YoungInterval(writeSeconds, mtbfSeconds)
+}
+
+// ScheduledJobs schedules a job mix on the machine's booster pool:
+// the resource-management story of the paper (static host-owned
+// accelerators vs the dynamically assignable booster pool), run under
+// the machine's fault plan when one is configured.
+type ScheduledJobs struct {
+	// Jobs is the mix to schedule.
+	Jobs []Job
+	// Dynamic draws boosters from the shared pool (with backfill);
+	// false models static host-owns-its-accelerators assignment.
+	Dynamic bool
+	// Contiguous uses topology-aware sub-torus allocation; it needs a
+	// booster count with an exact 3D-torus shape (WithBoosterTorus,
+	// or a node count the auto shape covers exactly, like 27 or 64).
+	Contiguous bool
+	// BoostersPerOwner partitions the pool into ownership groups of
+	// this size; zero leaves the pool unpartitioned.
+	BoostersPerOwner int
+	// Ckpt enables checkpoint/restart; nil jobs restart from scratch.
+	Ckpt *Checkpointing
+}
+
+// Name implements Workload.
+func (ScheduledJobs) Name() string { return "scheduled-jobs" }
+
+// Run implements Workload.
+func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("deep: scheduled-jobs workload has no jobs")
+	}
+	m := env.Machine
+	eng := sim.New()
+	var pool *resource.Pool
+	tx, ty, tz := m.torusX, m.torusY, m.torusZ
+	if tx == 0 {
+		// Auto-shaped machines model a near-cubic booster torus; use
+		// it for the pool too when it fits the node count exactly.
+		if x, y, z := cbp.TorusShape(m.boosterNodes); x*y*z == m.boosterNodes {
+			tx, ty, tz = x, y, z
+		}
+	}
+	if tx > 0 {
+		pool = resource.NewTorusPool(topology.NewTorus3D(tx, ty, tz))
+	} else {
+		if s.Contiguous {
+			return nil, fmt.Errorf("deep: contiguous allocation needs a booster count with an exact 3D-torus shape (use WithBoosterTorus)")
+		}
+		pool = resource.NewPool(m.boosterNodes)
+	}
+	if s.BoostersPerOwner > 0 {
+		pool.PartitionOwners(s.BoostersPerOwner)
+	}
+	mode := resource.Static
+	if s.Dynamic {
+		mode = resource.Dynamic
+	}
+	sched := resource.NewScheduler(eng, pool, mode)
+	sched.Backfill = s.Dynamic
+	if s.Contiguous {
+		sched.Policy = resource.Contiguous
+	}
+	if c := s.Ckpt; c != nil && c.Interval > 0 {
+		sched.Ckpt = &resil.Checkpoint{
+			Interval:     sim.FromSeconds(c.Interval),
+			LocalWrite:   sim.FromSeconds(c.Write),
+			LocalRestore: sim.FromSeconds(c.Restore),
+			Buddy:        c.Buddy,
+		}
+	}
+	for _, j := range s.Jobs {
+		sched.Submit(&resource.Job{
+			ID:       j.ID,
+			Arrival:  sim.FromSeconds(j.Arrival),
+			Duration: sim.FromSeconds(j.Duration),
+			Boosters: j.Boosters,
+			Owner:    j.Owner,
+		})
+	}
+	var inj *resil.Injector
+	if f := m.faults; f != nil && f.NodeMTBF > 0 {
+		horizon := f.Horizon
+		if horizon <= 0 {
+			horizon = 600
+		}
+		seed := f.Seed
+		if seed == 0 {
+			// Documented fallback: the machine seed, so the failure
+			// trace stays fixed while per-run problem seeds vary.
+			seed = m.seed
+		}
+		var ttf resil.Distribution = resil.Exponential{M: f.NodeMTBF}
+		if f.WeibullShape > 0 {
+			ttf = resil.Weibull{Shape: f.WeibullShape, Scale: f.NodeMTBF}
+		}
+		inj = resil.NewInjector(eng, sim.FromSeconds(horizon))
+		inj.Nodes(pool.Size(), resil.Faults{
+			TTF: ttf,
+			TTR: resil.Fixed{D: f.Repair},
+		}, seed, sched)
+	}
+	eng.Run()
+
+	completed := len(sched.Completed())
+	mode_ := "static"
+	if s.Dynamic {
+		mode_ = "dynamic"
+	}
+	res := &Result{
+		Workload:  "scheduled-jobs",
+		Summary:   fmt.Sprintf("jobs=%d boosters=%d mode=%s", len(s.Jobs), pool.Size(), mode_),
+		ModelTime: ModelTime(sched.Makespan().Seconds()),
+	}
+	res.addMetric("makespan_s", sched.Makespan().Seconds(), "")
+	res.addMetric("utilisation", sched.Utilisation(), "")
+	res.addMetric("mean_wait_ms", float64(sched.MeanWait())/float64(sim.Millisecond), "")
+	res.addMetric("completed", float64(completed), "")
+	res.addMetric("requeues", float64(sched.Requeued), "")
+	res.addMetric("lost_work_s", sched.LostWork.Seconds(), "")
+	if inj != nil {
+		res.addMetric("node_failures", float64(inj.NodeFailures), "")
+		res.addMetric("node_repairs", float64(inj.NodeRepairs), "")
+	}
+	// Verification for a scheduling run: every submitted job completed.
+	res.Verified = completed == len(s.Jobs)
+	if !res.Verified {
+		res.Notes = append(res.Notes, fmt.Sprintf("%d of %d jobs did not complete",
+			len(s.Jobs)-completed, len(s.Jobs)))
+	}
+	return res, nil
+}

@@ -1,0 +1,158 @@
+package deep
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/offload"
+)
+
+// OffloadKernel is a parallel booster kernel: it receives the full
+// input plus its worker rank and group size and returns its partial
+// result (concatenated in rank order by the offload layer). Kernels
+// must be deterministic functions of (rank, size, data).
+type OffloadKernel func(rank, size int, data []float64) ([]float64, error)
+
+// ServiceCall invokes a named cluster-side service from inside a
+// reverse-offload kernel.
+type ServiceCall func(service string, args []float64) ([]float64, error)
+
+// ReverseOffloadKernel is a booster kernel that may call back into
+// cluster-side services mid-kernel through call — the paper's
+// "main() stays on the Cluster" split.
+type ReverseOffloadKernel func(call ServiceCall, rank, size int, data []float64) ([]float64, error)
+
+// ClusterService is a cluster-side function reverse-offload kernels
+// may invoke (parameter databases, file systems — anything that must
+// live with main()).
+type ClusterService func(args []float64) ([]float64, error)
+
+// ShardRange computes the [lo, hi) slice of an n-element input that
+// worker rank of size owns — the canonical data decomposition for
+// offload kernels.
+func ShardRange(n, rank, size int) (lo, hi int) { return offload.ShardRange(n, rank, size) }
+
+// Offload runs one kernel over the machine's spawned booster worker
+// group: the paper's offload path (MPI_Comm_spawn + kernel shipping),
+// including the reverse-offload channel when the kernel needs
+// cluster-side services.
+type Offload struct {
+	// Kernel names the kernel (display and registry key).
+	Kernel string
+	// Data is the bulk input, sharded over the workers.
+	Data []float64
+	// FlopsPerRank, when non-zero, models the kernel's per-worker
+	// computational weight on the booster node model.
+	FlopsPerRank float64
+	// Fn is a plain kernel. Exactly one of Fn and Reverse must be set.
+	Fn OffloadKernel
+	// Reverse is a kernel that calls back into Services mid-kernel.
+	Reverse ReverseOffloadKernel
+	// Services are the cluster-side functions Reverse may call.
+	Services map[string]ClusterService
+	// Want, when non-nil, is the expected gathered output; the run
+	// verifies against it within Tol (0 = exact).
+	Want []float64
+	// Tol is the admissible absolute error per element.
+	Tol float64
+}
+
+// Name implements Workload.
+func (o Offload) Name() string { return "offload" }
+
+// Run implements Workload.
+func (o Offload) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if (o.Fn == nil) == (o.Reverse == nil) {
+		return nil, fmt.Errorf("deep: offload workload needs exactly one of Fn and Reverse")
+	}
+	name := o.Kernel
+	if name == "" {
+		name = "kernel"
+	}
+	m := env.Machine
+	cfg := core.Config{
+		ClusterRanks:   env.Ranks,
+		ClusterNodes:   m.clusterNodes,
+		BoosterNodes:   m.boosterNodes,
+		BoosterWorkers: m.boosterWorkers,
+		ModelCompute:   m.modelCompute,
+	}
+	if o.Fn != nil {
+		fn := o.Fn
+		cfg.Registry = offload.Registry{
+			name: func(rank, size int, req offload.Request) ([]float64, error) {
+				return fn(rank, size, req.Data)
+			},
+		}
+	} else {
+		rev := o.Reverse
+		cfg.EnvKernels = map[string]offload.EnvKernel{
+			name: func(e *offload.Env, req offload.Request) ([]float64, error) {
+				return rev(e.CallCluster, e.Rank, e.Size, req.Data)
+			},
+		}
+		cfg.Services = make(map[string]offload.Service, len(o.Services))
+		for sname, svc := range o.Services {
+			cfg.Services[sname] = offload.Service(svc)
+		}
+	}
+	var out []float64
+	var reverseCalls uint64
+	makespan, err := core.Run(cfg, func(d *core.Deep) error {
+		if d.Comm.Rank() != 0 {
+			return nil // rank 0 drives the invocation
+		}
+		res, err := d.Boost.Invoke(offload.Request{
+			Kernel:       name,
+			Data:         o.Data,
+			FlopsPerRank: o.FlopsPerRank,
+		})
+		if err != nil {
+			return err
+		}
+		out = res
+		reverseCalls = d.Boost.ReverseCalls
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Workload:  "offload",
+		Summary:   fmt.Sprintf("kernel=%s workers=%d n=%d", name, m.boosterWorkers, len(o.Data)),
+		ModelTime: ModelTime(makespan.Seconds()),
+		Verified:  true,
+	}
+	res.addMetric("outputs", float64(len(out)), "")
+	if o.Reverse != nil {
+		res.addMetric("reverse_calls", float64(reverseCalls), "")
+	}
+	if o.Want != nil {
+		if len(out) != len(o.Want) {
+			return nil, fmt.Errorf("deep: offload gathered %d values, reference has %d",
+				len(out), len(o.Want))
+		}
+		maxDiff := 0.0
+		for i := range o.Want {
+			if d := math.Abs(out[i] - o.Want[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		res.verify(maxDiff, o.Tol)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("output: %v", headOf(out, 8)))
+	return res, nil
+}
+
+// headOf returns the first n values for display.
+func headOf(v []float64, n int) []float64 {
+	return v[:min(n, len(v))]
+}

@@ -1,0 +1,121 @@
+package deep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ModelTime is a modelled virtual-clock duration in seconds. It
+// renders with the same adaptive unit the simulation kernel uses
+// (e.g. "1.234ms").
+type ModelTime float64
+
+// Seconds returns the duration in seconds.
+func (t ModelTime) Seconds() float64 { return float64(t) }
+
+// String implements fmt.Stringer.
+func (t ModelTime) String() string { return sim.FromSeconds(float64(t)).String() }
+
+// Metric is one named observation of a workload run.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Unit is an optional display suffix ("B", "s", ...).
+	Unit string `json:"unit,omitempty"`
+}
+
+// Result is the structured outcome of one Workload run.
+type Result struct {
+	// Workload is the workload name, Summary its one-line parameter
+	// echo (reflecting any adjusted values, e.g. a rounded-up NBody
+	// body count).
+	Workload string `json:"workload"`
+	Summary  string `json:"summary"`
+	// ModelTime is the modelled execution time on the machine's
+	// virtual clock; zero when the workload has no communication
+	// model (e.g. node-local Cholesky).
+	ModelTime ModelTime `json:"model_time_s"`
+	// Metrics are the ordered observations of the run.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// Notes carry free-text commentary, including any parameter
+	// adjustments the workload had to make.
+	Notes []string `json:"notes,omitempty"`
+	// Checked is true when the run performed numerical verification;
+	// MaxError and Tol then hold the achieved and admissible error.
+	Checked  bool    `json:"checked"`
+	MaxError float64 `json:"max_error,omitempty"`
+	Tol      float64 `json:"tol,omitempty"`
+	// Verified is the run's verdict: true when unchecked runs
+	// completed or checked runs met their tolerance.
+	Verified bool `json:"verified"`
+}
+
+// Metric returns the named metric value.
+func (r *Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// addMetric appends an observation.
+func (r *Result) addMetric(name string, v float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: v, Unit: unit})
+}
+
+// verify records a verification outcome against a tolerance.
+func (r *Result) verify(maxErr, tol float64) {
+	r.Checked = true
+	r.MaxError = maxErr
+	r.Tol = tol
+	r.Verified = maxErr <= tol
+}
+
+// formatMetric renders a metric value compactly (integers without a
+// decimal point or exponent, however large).
+func formatMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the result as the human-readable block the
+// deeprun CLI prints.
+func (r *Result) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n", r.Workload, r.Summary)
+	if r.ModelTime > 0 {
+		fmt.Fprintf(&b, "  modelled time = %v\n", r.ModelTime)
+	}
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, "  %s = %s", m.Name, formatMetric(m.Value))
+		if m.Unit != "" {
+			fmt.Fprintf(&b, " %s", m.Unit)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	if r.Checked {
+		fmt.Fprintf(&b, "  max error = %.3e (tol %.1e)\n", r.MaxError, r.Tol)
+	}
+	switch {
+	case r.Checked && r.Verified:
+		b.WriteString("  VERIFIED\n")
+	case r.Verified:
+		b.WriteString("  COMPLETED (unchecked)\n")
+	default:
+		b.WriteString("  FAILED\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,152 @@
+package deep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/expt"
+	"repro/internal/stats"
+)
+
+// Table is the public form of one rendered figure: title, column
+// headers, string cells, and paper-vs-measured commentary.
+type Table struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// fromStats converts the internal table representation.
+func fromStats(t *stats.Table) *Table {
+	return &Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+}
+
+// toStats converts back for rendering, so the aligned-text and CSV
+// formats have exactly one implementation.
+func (t *Table) toStats() *stats.Table {
+	return &stats.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error { return t.toStats().Render(w) }
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error { return t.toStats().CSV(w) }
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
+}
+
+// Experiments lists the registered experiments sorted by ID.
+func Experiments() []ExperimentInfo {
+	all := expt.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, e := range all {
+		out[i] = ExperimentInfo{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef}
+	}
+	return out
+}
+
+// ExperimentIDs returns the sorted experiment identifiers.
+func ExperimentIDs() []string { return expt.IDs() }
+
+// RunResult is the outcome of one experiment run: either a table or
+// an error. JSONSink defines the wire form.
+type RunResult struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Table    *Table
+	Err      error
+}
+
+// Report is an ordered collection of experiment results, in the order
+// they were requested (registry order for a full run), independent of
+// execution interleaving.
+type Report struct {
+	Results []RunResult
+}
+
+// Err joins the per-run errors, nil when every run succeeded.
+func (r *Report) Err() error {
+	var errs []error
+	for _, res := range r.Results {
+		if res.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", res.ID, res.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Runner executes experiments from the registry: serially by default,
+// or over a bounded worker pool, with per-run seed and scale
+// overrides and context cancellation. The zero value runs everything
+// serially at paper scale.
+type Runner struct {
+	// Parallel bounds the number of concurrently running experiments;
+	// values below 2 run serially.
+	Parallel int
+	// Seed, when non-zero, overrides the published seed of every
+	// seeded experiment.
+	Seed uint64
+	// Scale multiplies the workload size of experiments with a size
+	// axis; 0 or 1 keeps paper scale.
+	Scale float64
+}
+
+// Run executes the named experiments (all of them, in registry order,
+// when ids is empty) and returns their results in the requested
+// order. Execution stops early when ctx is cancelled; individual
+// experiment failures are recorded per result and joined into the
+// returned error.
+func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
+	if len(ids) == 0 {
+		ids = expt.IDs()
+	}
+	exps := make([]expt.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := expt.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("deep: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	workers := max(r.Parallel, 1)
+
+	rep := &Report{Results: make([]RunResult, len(exps))}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		rep.Results[i] = RunResult{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef}
+		wg.Add(1)
+		go func(i int, e expt.Experiment) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				rep.Results[i].Err = ctx.Err()
+				return
+			}
+			tab, err := e.Run(ctx, cfg)
+			if err != nil {
+				rep.Results[i].Err = err
+				return
+			}
+			rep.Results[i].Table = fromStats(tab)
+		}(i, e)
+	}
+	wg.Wait()
+	return rep, rep.Err()
+}

@@ -1,0 +1,91 @@
+package deep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink renders a Report. The three built-ins cover aligned text
+// tables (TableSink), machine-readable series (CSVSink), and
+// structured output (JSONSink); implement the interface for anything
+// else (HTML, parquet, a plotting pipeline, ...).
+type Sink interface {
+	Write(w io.Writer, rep *Report) error
+}
+
+// TableSink renders each successful result as an aligned text table,
+// one blank line between tables — the cmd/deepbench default format.
+type TableSink struct{}
+
+// Write implements Sink.
+func (TableSink) Write(w io.Writer, rep *Report) error {
+	first := true
+	for _, r := range rep.Results {
+		if r.Table == nil {
+			continue
+		}
+		if !first {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := r.Table.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVSink renders each successful result as CSV (headers first, no
+// title or notes), concatenated in report order.
+type CSVSink struct{}
+
+// Write implements Sink.
+func (CSVSink) Write(w io.Writer, rep *Report) error {
+	for _, r := range rep.Results {
+		if r.Table == nil {
+			continue
+		}
+		if err := r.Table.CSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONSink renders the full report — including per-run errors — as a
+// JSON array.
+type JSONSink struct {
+	// Indent pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// jsonResult is the wire form of one run.
+type jsonResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
+	Table    *Table `json:"table,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Write implements Sink.
+func (s JSONSink) Write(w io.Writer, rep *Report) error {
+	out := make([]jsonResult, len(rep.Results))
+	for i, r := range rep.Results {
+		out[i] = jsonResult{ID: r.ID, Title: r.Title, PaperRef: r.PaperRef, Table: r.Table}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	enc := json.NewEncoder(w)
+	if s.Indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("deep: encoding report: %w", err)
+	}
+	return nil
+}

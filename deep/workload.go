@@ -1,0 +1,274 @@
+package deep
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/ompss"
+	"repro/internal/rng"
+)
+
+// Workload is anything that can execute on a DEEP machine and verify
+// its own result: the four applications, kernel offloading, and
+// booster job scheduling all implement it.
+type Workload interface {
+	// Name identifies the workload ("cholesky", "spmv", ...).
+	Name() string
+	// Run executes the workload in the environment and returns its
+	// structured, self-verified result. Implementations honour ctx
+	// cancellation between phases.
+	Run(ctx context.Context, env *Env) (*Result, error)
+}
+
+// Run validates the environment and executes the workload — the
+// single entry point the CLIs and examples use.
+func Run(ctx context.Context, env *Env, w Workload) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("deep: nil workload")
+	}
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w.Run(ctx, env)
+}
+
+// positive returns v, or def when v is unset.
+func positive(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// runVerified executes fn on env.Ranks Global-MPI ranks over the
+// machine's transport, concatenates the per-rank outputs in rank
+// order, verifies them against want, and records model time plus
+// traffic metrics on res. This one helper replaces the four
+// copy-pasted transport/verify loops the pre-SDK cmd/deeprun carried.
+func runVerified(ctx context.Context, env *Env, res *Result, want []float64, tol float64,
+	fn func(c *mpi.Comm) ([]float64, error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tr := env.Machine.transport()
+	var opts []mpi.Option
+	if env.PlaceOnBooster {
+		opts = append(opts, mpi.WithPlacement(func(ep int) int {
+			return tr.BoosterNode(ep % env.Machine.boosterNodes)
+		}))
+	} else if env.Ranks > env.Machine.clusterNodes {
+		// Identity placement would spill ranks past the cluster fabric
+		// and silently charge them booster/gateway costs.
+		return fmt.Errorf("deep: %d ranks exceed the machine's %d cluster nodes (grow the machine or set Env.PlaceOnBooster)",
+			env.Ranks, env.Machine.clusterNodes)
+	}
+	world := mpi.NewWorld(tr, opts...)
+	results := make([][]float64, env.Ranks)
+	traffic := make([]mpi.Stats, env.Ranks)
+	makespan, err := world.Run(env.Ranks, func(c *mpi.Comm) error {
+		out, err := fn(c)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = out
+		traffic[c.Rank()] = c.Stats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var got []float64
+	for _, r := range results {
+		got = append(got, r...)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("deep: %s gathered %d values, reference has %d",
+			res.Workload, len(got), len(want))
+	}
+	maxDiff := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	var msgs, bytes uint64
+	for _, st := range traffic {
+		msgs += st.SentMsgs
+		bytes += st.SentBytes
+	}
+	res.ModelTime = ModelTime(makespan.Seconds())
+	res.addMetric("messages", float64(msgs), "")
+	res.addMetric("sent_bytes", float64(bytes), "B")
+	res.verify(maxDiff, tol)
+	return nil
+}
+
+// Cholesky is the OmpSs tiled Cholesky factorisation (paper slide
+// 23): a random SPD matrix is factorised by the dataflow runtime and
+// verified against the unblocked reference factorisation. It runs
+// node-local (no Global-MPI), so the result has no model time.
+type Cholesky struct {
+	// N is the matrix dimension (default 64), TileSize the tile edge
+	// (default 16), Workers the OmpSs worker count (default 8).
+	N, TileSize, Workers int
+}
+
+// Name implements Workload.
+func (Cholesky) Name() string { return "cholesky" }
+
+// Run implements Workload.
+func (c Cholesky) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := positive(c.N, 64)
+	ts := positive(c.TileSize, 16)
+	workers := positive(c.Workers, 8)
+	r := rng.New(env.Seed)
+	src := linalg.SPDMatrix(n, r.Float64)
+	ref := src.Clone()
+	if err := linalg.CholeskyRef(ref); err != nil {
+		return nil, err
+	}
+	ch, err := apps.NewCholesky(src, ts)
+	if err != nil {
+		return nil, err
+	}
+	rt := ompss.New(workers, ompss.WithRecording())
+	err = ch.RunDataflow(rt)
+	st := rt.Stats()
+	rt.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	got := ch.Result()
+	maxDiff := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if d := math.Abs(got.At(i, j) - ref.At(i, j)); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	res := &Result{
+		Workload: "cholesky",
+		Summary:  fmt.Sprintf("n=%d ts=%d workers=%d", n, ts, workers),
+	}
+	res.addMetric("tasks", float64(st.Submitted), "")
+	res.addMetric("edges", float64(st.Edges), "")
+	res.addMetric("max_ready", float64(st.MaxReady), "")
+	for _, kernel := range []string{"potrf", "trsm", "gemm", "syrk"} {
+		res.addMetric(kernel, float64(st.ByName[kernel]), "")
+	}
+	res.verify(maxDiff, 1e-8)
+	return res, nil
+}
+
+// SpMV is the paper's "highly scalable" application class: a sparse
+// matrix-vector iteration with nearest-neighbour halo exchange,
+// executed as real Global-MPI ranks and verified against the
+// sequential reference.
+type SpMV struct {
+	// NX and NY are the grid dimensions (default 32x32), Iters the
+	// iteration count (default 10).
+	NX, NY, Iters int
+}
+
+// Name implements Workload.
+func (SpMV) Name() string { return "spmv" }
+
+// Run implements Workload.
+func (s SpMV) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	app := &apps.SpMV{NX: positive(s.NX, 32), NY: positive(s.NY, 32), Iters: positive(s.Iters, 10)}
+	res := &Result{
+		Workload: "spmv",
+		Summary:  fmt.Sprintf("%dx%d iters=%d ranks=%d", app.NX, app.NY, app.Iters, env.Ranks),
+	}
+	if err := runVerified(ctx, env, res, app.RunSequential(), 1e-9, app.Run); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stencil is a 2D 5-point stencil iteration with halo exchange over
+// Global-MPI ranks, verified against the sequential reference.
+type Stencil struct {
+	// NX and NY are the grid dimensions (default 64x64), Iters the
+	// iteration count (default 20).
+	NX, NY, Iters int
+}
+
+// Name implements Workload.
+func (Stencil) Name() string { return "stencil" }
+
+// Run implements Workload.
+func (s Stencil) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	app := &apps.Stencil2D{NX: positive(s.NX, 64), NY: positive(s.NY, 64), Iters: positive(s.Iters, 20)}
+	res := &Result{
+		Workload: "stencil",
+		Summary:  fmt.Sprintf("%dx%d iters=%d ranks=%d", app.NX, app.NY, app.Iters, env.Ranks),
+	}
+	res.addMetric("halo_bytes_per_iter_rank", float64(app.HaloBytesPerIter()), "B")
+	if err := runVerified(ctx, env, res, app.RunSequential(), 1e-9, app.Run); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NBody is the all-to-all direct N-body integration over Global-MPI
+// ranks, verified against the sequential reference. The body count
+// must divide evenly over the ranks; when it does not, the workload
+// rounds it up to the next multiple and reports the adjustment in the
+// result summary and notes.
+type NBody struct {
+	// N is the requested body count (default 64), Steps the number of
+	// integration steps (default 10).
+	N, Steps int
+}
+
+// Name implements Workload.
+func (NBody) Name() string { return "nbody" }
+
+// Run implements Workload.
+func (w NBody) Run(ctx context.Context, env *Env) (*Result, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	n := positive(w.N, 64)
+	steps := positive(w.Steps, 10)
+	requested := n
+	if n%env.Ranks != 0 {
+		n = ((n + env.Ranks - 1) / env.Ranks) * env.Ranks
+	}
+	app := &apps.NBody{N: n, Steps: steps, DT: 0.01}
+	res := &Result{
+		Workload: "nbody",
+		Summary:  fmt.Sprintf("n=%d steps=%d ranks=%d", n, steps, env.Ranks),
+	}
+	if n != requested {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"body count rounded up from %d to %d (next multiple of %d ranks)",
+			requested, n, env.Ranks))
+	}
+	res.addMetric("allgather_bytes_per_step", float64(app.CommBytesPerStep()), "B")
+	if err := runVerified(ctx, env, res, app.RunSequential(), 1e-9, app.Run); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -6,8 +6,18 @@
 // VELO/RMA/SMFU engines, PCIe baseline, Xeon/Xeon Phi node models)
 // they run on — all simulated, since the original system is hardware.
 //
-// See README.md for the architecture overview and system inventory,
-// and EXPERIMENTS.md for paper-vs-measured records. The benchmarks in
-// bench_test.go regenerate every figure via the internal/expt
-// registry.
+// The public entry point is the deep package: deep.NewMachine builds
+// a modelled system from functional options, deep.Workload unifies
+// the applications, kernel offloading and booster job scheduling
+// behind one Run(ctx, *Env) (*Result, error) contract with built-in
+// verification, and deep.Runner drives the experiment registry (every
+// table/figure of the paper reproduction) concurrently with pluggable
+// table/CSV/JSON sinks. The cmd/deepbench and cmd/deeprun binaries
+// are thin shells over it.
+//
+// See README.md for the architecture overview, the old-internal-API
+// to-deep migration table, and the system inventory; EXPERIMENTS.md
+// records paper-vs-measured for every registry entry. The benchmarks
+// in bench_test.go regenerate every figure via the internal/expt
+// registry the deep.Runner fronts.
 package repro

@@ -1,93 +1,48 @@
-// Cholesky: the paper's OmpSs example (slide 23) end to end — a tiled
-// Cholesky factorisation written as a sequential loop nest whose
-// potrf/trsm/gemm/syrk tasks declare data dependences, executed (a) as
-// a dataflow graph and (b) with fork-join barriers, then verified
-// against the unblocked reference factorisation. The modelled-makespan
-// sweep shows why the paper adopts the dataflow model.
+// Cholesky: the paper's OmpSs example (slide 23) end to end through
+// the public deep SDK — a tiled Cholesky factorisation whose
+// potrf/trsm/gemm/syrk tasks declare data dependences, executed as a
+// dataflow graph and verified against the unblocked reference
+// factorisation, followed by the modelled dataflow-vs-fork-join sweep
+// (experiment E06) that shows why the paper adopts the dataflow model.
 //
 //	go run ./examples/cholesky
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 	"os"
-	"time"
 
-	"repro/internal/apps"
-	"repro/internal/linalg"
-	"repro/internal/machine"
-	"repro/internal/ompss"
-	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/deep"
 )
 
 func main() {
-	const n, ts, workers = 128, 16, 8
-	r := rng.New(2024)
-	src := linalg.SPDMatrix(n, r.Float64)
-	ref := src.Clone()
-	if err := linalg.CholeskyRef(ref); err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
 
-	// Real dataflow execution with verification.
-	c, err := apps.NewCholesky(src, ts)
+	// Real dataflow execution with verification, on the default
+	// machine: a 128x128 SPD matrix in 16x16 tiles over 8 workers.
+	m, err := deep.NewMachine(deep.WithSeed(2024))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tracer := ompss.NewTracer()
-	rt := ompss.New(workers, ompss.WithScheduler(ompss.NewPriority()), ompss.WithTracer(tracer))
-	if err := c.RunDataflow(rt); err != nil {
+	res, err := deep.Run(ctx, m.NewEnv(), deep.Cholesky{N: 128, TileSize: 16, Workers: 8})
+	if err != nil {
 		log.Fatal(err)
 	}
-	st := rt.Stats()
-	rt.Shutdown()
-	got := c.Result()
-	maxDiff := 0.0
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			maxDiff = math.Max(maxDiff, math.Abs(got.At(i, j)-ref.At(i, j)))
-		}
-	}
-	fmt.Printf("tiled Cholesky %dx%d, %dx%d tiles, %d workers\n", n, n, ts, ts, workers)
-	fmt.Printf("  tasks=%d (potrf=%d trsm=%d gemm=%d syrk=%d), dependence edges=%d\n",
-		st.Submitted, st.ByName["potrf"], st.ByName["trsm"],
-		st.ByName["gemm"], st.ByName["syrk"], st.Edges)
-	fmt.Printf("  max |L - Lref| = %.3e  => %s\n", maxDiff, verdict(maxDiff < 1e-8))
-
-	// Timeline summary from the execution tracer (the Paraver/Extrae
-	// role in the OmpSs toolchain; WriteChromeTrace exports the full
-	// timeline for chrome://tracing).
-	sum := tracer.Summarize()
-	fmt.Printf("  traced %d task executions over %v wall time\n", sum.Tasks, sum.Span.Round(time.Microsecond))
-	for _, name := range []string{"potrf", "trsm", "gemm", "syrk"} {
-		fmt.Printf("    %-5s %v\n", name, sum.TimeByName[name].Round(time.Microsecond))
+	if err := res.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println()
 
-	// Modelled speedup sweep on a KNC booster node: dataflow vs
-	// fork-join (the figure E06 regenerates).
-	g := c.Graph(machine.KNC)
-	serial := g.Makespan(1)
-	tab := stats.NewTable("modelled speedup on KNC (dataflow vs fork-join)",
-		"workers", "dataflow", "forkjoin")
-	for _, w := range []int{1, 2, 4, 8, 16, 32} {
-		tab.AddRow(w,
-			float64(serial)/float64(g.Makespan(w)),
-			float64(serial)/float64(c.ForkJoinMakespan(machine.KNC, w)))
-	}
-	tab.AddNote("critical path limits speedup to %.1f",
-		float64(serial)/float64(g.CriticalPath()))
-	if err := tab.Render(os.Stdout); err != nil {
+	// The modelled speedup figure on a KNC booster node: dataflow vs
+	// fork-join over worker counts — regenerated through the same
+	// Runner cmd/deepbench uses.
+	rep, err := (&deep.Runner{}).Run(ctx, "E06")
+	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func verdict(ok bool) string {
-	if ok {
-		return "VERIFIED"
+	if err := (deep.TableSink{}).Write(os.Stdout, rep); err != nil {
+		log.Fatal(err)
 	}
-	return "FAILED"
 }

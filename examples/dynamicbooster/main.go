@@ -1,81 +1,75 @@
 // Dynamicbooster: the resource-management story of the paper (slides
-// 8, 21) — a job mix with skewed accelerator demand scheduled twice,
-// once with the static host-owns-its-accelerators wiring of a
-// conventional accelerated cluster, once with the dynamic pool
-// assignment the Cluster-Booster architecture enables, including
-// topology-aware contiguous sub-torus allocation.
+// 8, 21) — a job mix with skewed accelerator demand scheduled three
+// times through the deep.ScheduledJobs workload: once with the static
+// host-owns-its-accelerators wiring of a conventional accelerated
+// cluster, once with the dynamic pool assignment the Cluster-Booster
+// architecture enables, and once adding topology-aware contiguous
+// sub-torus allocation.
 //
 //	go run ./examples/dynamicbooster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
-	"repro/internal/resource"
+	"repro/deep"
 	"repro/internal/rng"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
 )
 
-func workload() []*resource.Job {
+// workload builds a reproducible Zipf-skewed job mix: some jobs want
+// many boosters while their owner only holds four.
+func workload() []deep.Job {
 	r := rng.New(99)
 	zipf := rng.NewZipf(r, 8, 1.1)
-	jobs := make([]*resource.Job, 32)
+	jobs := make([]deep.Job, 32)
 	for i := range jobs {
-		jobs[i] = &resource.Job{
+		jobs[i] = deep.Job{
 			ID:       i,
-			Arrival:  sim.Time(i) * 50 * sim.Millisecond,
+			Arrival:  float64(i) * 0.05,
 			Boosters: 1 << uint(zipf.Next()%5), // 1..16
-			Duration: sim.Time(r.Intn(400)+100) * sim.Millisecond,
+			Duration: float64(r.Intn(400)+100) / 1000,
 			Owner:    r.Intn(8),
 		}
 	}
 	return jobs
 }
 
-func run(mode resource.AssignMode, contiguous bool) *resource.Scheduler {
-	eng := sim.New()
-	pool := resource.NewTorusPool(topology.NewTorus3D(4, 4, 2)) // 32 boosters
-	pool.PartitionOwners(4)                                     // 8 owners x 4 boosters
-	s := resource.NewScheduler(eng, pool, mode)
-	s.Backfill = mode == resource.Dynamic
-	if contiguous {
-		s.Policy = resource.Contiguous
-	}
-	for _, j := range workload() {
-		s.Submit(j)
-	}
-	eng.Run()
-	return s
-}
-
 func main() {
-	tab := stats.NewTable("booster assignment on a 4x4x2 EXTOLL torus (32 jobs)",
-		"policy", "makespan_s", "utilisation", "mean_wait_ms")
-	for _, cfg := range []struct {
-		name       string
-		mode       resource.AssignMode
-		contiguous bool
-	}{
-		{"static (host-owned)", resource.Static, false},
-		{"dynamic first-fit", resource.Dynamic, false},
-		{"dynamic sub-torus", resource.Dynamic, true},
-	} {
-		s := run(cfg.mode, cfg.contiguous)
-		if len(s.Completed()) != 32 {
-			log.Fatalf("%s lost jobs: %d of 32", cfg.name, len(s.Completed()))
-		}
-		tab.AddRow(cfg.name, s.Makespan().Seconds(), s.Utilisation(),
-			float64(s.MeanWait())/float64(sim.Millisecond))
-	}
-	tab.AddNote("static binds each job to its owner's 4 boosters; dynamic draws from the pool")
-	tab.AddNote("sub-torus allocation additionally keeps each job's nodes contiguous (lower hop counts)")
-	if err := tab.Render(os.Stdout); err != nil {
+	// 32 boosters on a 4x4x2 EXTOLL torus, 8 owners x 4 boosters.
+	m, err := deep.NewMachine(deep.WithBoosterTorus(4, 4, 2))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nthe dynamic rows reproduce the paper's argument for network-attached,")
+	jobs := workload()
+
+	ctx := context.Background()
+	fmt.Println("booster assignment on a 4x4x2 EXTOLL torus (32 jobs):")
+	for _, cfg := range []struct {
+		name string
+		w    deep.ScheduledJobs
+	}{
+		{"static (host-owned)", deep.ScheduledJobs{Jobs: jobs, BoostersPerOwner: 4}},
+		{"dynamic first-fit", deep.ScheduledJobs{Jobs: jobs, BoostersPerOwner: 4, Dynamic: true}},
+		{"dynamic sub-torus", deep.ScheduledJobs{Jobs: jobs, BoostersPerOwner: 4, Dynamic: true, Contiguous: true}},
+	} {
+		res, err := deep.Run(ctx, m.NewEnv(), cfg.w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Verified {
+			log.Fatalf("%s lost jobs: %v", cfg.name, res.Notes)
+		}
+		makespan, _ := res.Metric("makespan_s")
+		util, _ := res.Metric("utilisation")
+		wait, _ := res.Metric("mean_wait_ms")
+		fmt.Printf("  %-22s makespan %.3f s   utilisation %.3f   mean wait %.1f ms\n",
+			cfg.name, makespan, util, wait)
+	}
+	fmt.Println()
+	fmt.Println("static binds each job to its owner's 4 boosters; dynamic draws from the")
+	fmt.Println("pool; sub-torus allocation additionally keeps each job's nodes contiguous.")
+	fmt.Println("the dynamic rows reproduce the paper's argument for network-attached,")
 	fmt.Println("dynamically assignable boosters (slide 8)")
 }

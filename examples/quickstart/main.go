@@ -1,70 +1,66 @@
-// Quickstart: build a small DEEP machine, offload one parallel kernel
-// from the Cluster to a spawned Booster worker group, and print the
-// verified result together with the modelled execution time.
+// Quickstart: build a small DEEP machine with the public deep SDK,
+// offload one parallel kernel from the Cluster to the spawned Booster
+// worker group, and print the verified result together with the
+// modelled execution time.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/offload"
+	"repro/deep"
 )
 
 func main() {
-	// The kernel registry is shared by construction between the
-	// Cluster and Booster sides — the role of DEEP's dual-compiled
-	// application binary.
-	registry := offload.Registry{
-		// square computes the elementwise square of its shard.
-		"square": func(rank, size int, req offload.Request) ([]float64, error) {
-			lo, hi := offload.ShardRange(len(req.Data), rank, size)
-			out := make([]float64, hi-lo)
-			for i := lo; i < hi; i++ {
-				out[i-lo] = req.Data[i] * req.Data[i]
-			}
-			return out, nil
-		},
-	}
-
-	cfg := core.Config{
-		ClusterRanks:   2,  // application main()-part processes
-		ClusterNodes:   8,  // Xeon nodes on InfiniBand
-		BoosterNodes:   27, // KNC nodes on a 3x3x3 EXTOLL torus
-		BoosterWorkers: 8,  // spawned highly-scalable-code-part group
-		Registry:       registry,
-		ModelCompute:   true,
-	}
-
-	makespan, err := core.Run(cfg, func(d *core.Deep) error {
-		if d.Comm.Rank() != 0 {
-			return nil // only rank 0 offloads in this demo
-		}
-		data := make([]float64, 16)
-		for i := range data {
-			data[i] = float64(i)
-		}
-		out, err := d.Boost.Invoke(offload.Request{
-			Kernel:       "square",
-			Data:         data,
-			FlopsPerRank: 1e6,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Println("offloaded square kernel over", d.Boost.Workers(), "booster workers:")
-		for i, v := range out {
-			if v != data[i]*data[i] {
-				return fmt.Errorf("verification failed at %d: %v", i, v)
-			}
-		}
-		fmt.Printf("  in:  %v\n  out: %v\n  VERIFIED\n", data[:8], out[:8])
-		return nil
-	})
+	// One Machine describes the whole modelled system: Xeon cluster
+	// nodes on InfiniBand, KNC booster nodes on a 3x3x3 EXTOLL torus,
+	// and the worker group spawned for offloaded kernels.
+	m, err := deep.NewMachine(
+		deep.WithClusterNodes(8),
+		deep.WithBoosterTorus(3, 3, 3),
+		deep.WithClusterRanks(2),
+		deep.WithBoosterWorkers(8),
+		deep.WithModelCompute(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("modelled makespan on the DEEP machine: %v\n", makespan)
+	fmt.Println(m)
+
+	// The kernel is shared by construction between the Cluster and
+	// Booster sides — the role of DEEP's dual-compiled application
+	// binary. Each worker squares its shard of the input.
+	data := make([]float64, 16)
+	want := make([]float64, 16)
+	for i := range data {
+		data[i] = float64(i)
+		want[i] = data[i] * data[i]
+	}
+	square := deep.Offload{
+		Kernel:       "square",
+		Data:         data,
+		FlopsPerRank: 1e6,
+		Fn: func(rank, size int, in []float64) ([]float64, error) {
+			lo, hi := deep.ShardRange(len(in), rank, size)
+			out := make([]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				out[i-lo] = in[i] * in[i]
+			}
+			return out, nil
+		},
+		Want: want,
+	}
+
+	res, err := deep.Run(context.Background(), m.NewEnv(), square)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modelled makespan on the DEEP machine: %v\n", res.ModelTime)
 }

@@ -2,26 +2,22 @@
 // booster nodes failures stop being exceptional, so the resource
 // manager must requeue jobs killed by node failures, restart them from
 // multi-level checkpoints, and heal the booster pool as nodes fail and
-// return. This walkthrough injects a deterministic failure trace into
-// a 64-booster run, compares no-checkpointing vs Daly-interval
-// buddy-SSD checkpointing, and knocks a fabric link out mid-transfer
-// to show the link layer riding through the outage.
+// return. This walkthrough attaches a Weibull fault injector to a
+// 64-booster machine, compares no-checkpointing against Daly-interval
+// buddy-SSD checkpointing on the same failure trace, and regenerates
+// the checkpoint-interval sweep (experiment E14).
 //
 //	go run ./examples/resilience
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/fabric"
-	"repro/internal/resil"
-	"repro/internal/resource"
+	"repro/deep"
 	"repro/internal/rng"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/topology"
 )
 
 const (
@@ -30,36 +26,19 @@ const (
 	write = 0.5   // local-SSD checkpoint write, seconds (buddy doubles it)
 )
 
-func workload() []*resource.Job {
+// workload builds 24 jobs of 10-30 s across 1-8 boosters each.
+func workload() []deep.Job {
 	r := rng.New(41)
-	jobs := make([]*resource.Job, 24)
+	jobs := make([]deep.Job, 24)
 	for i := range jobs {
-		jobs[i] = &resource.Job{
+		jobs[i] = deep.Job{
 			ID:       i,
-			Arrival:  sim.Time(i) * 500 * sim.Millisecond,
+			Arrival:  float64(i) * 0.5,
 			Boosters: 1 << uint(r.Intn(4)), // 1..8 boosters
-			Duration: sim.Time(r.Intn(20000)+10000) * sim.Millisecond,
+			Duration: float64(r.Intn(20000)+10000) / 1000,
 		}
 	}
 	return jobs
-}
-
-func run(ckpt *resil.Checkpoint) (*resource.Scheduler, *resil.Injector) {
-	eng := sim.New()
-	pool := resource.NewPool(nodes)
-	s := resource.NewScheduler(eng, pool, resource.Dynamic)
-	s.Backfill = true
-	s.Ckpt = ckpt
-	for _, j := range workload() {
-		s.Submit(j)
-	}
-	inj := resil.NewInjector(eng, 600*sim.Second)
-	inj.Nodes(nodes, resil.Faults{
-		TTF: resil.Weibull{Shape: 0.7, Scale: mtbf}, // infant-mortality regime
-		TTR: resil.Fixed{D: 10},
-	}, 5, s)
-	eng.Run()
-	return s, inj
 }
 
 func main() {
@@ -69,62 +48,62 @@ func main() {
 	// The Daly interval for buddy-replicated local checkpoints: the
 	// effective write cost is 2x the SSD write.
 	delta := 2 * write
-	daly := resil.DalyInterval(delta, mtbf)
+	daly := deep.DalyInterval(delta, mtbf)
 	fmt.Printf("per-node MTBF %.0f s, checkpoint write %.1f s (buddy) -> "+
 		"Young interval %.1f s, Daly interval %.1f s\n\n",
-		mtbf, delta, resil.YoungInterval(delta, mtbf), daly)
+		mtbf, delta, deep.YoungInterval(delta, mtbf), daly)
 
-	ckpt := &resil.Checkpoint{
-		Interval:     sim.FromSeconds(daly),
-		LocalWrite:   sim.FromSeconds(write),
-		LocalRestore: sim.FromSeconds(write / 2),
-		Buddy:        true,
+	// The machine carries the fault plan: every workload run on it
+	// sees the same deterministic Weibull failure trace
+	// (infant-mortality regime, seed 5).
+	m, err := deep.NewMachine(
+		deep.WithBoosterNodes(nodes),
+		deep.WithFaultInjector(deep.FaultPlan{
+			NodeMTBF:     mtbf,
+			WeibullShape: 0.7,
+			Repair:       10,
+			Seed:         5,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	tab := stats.NewTable("24 jobs on 64 boosters under Weibull failures",
-		"checkpointing", "makespan_s", "utilisation", "requeues", "lost_work_s")
+
+	ctx := context.Background()
+	jobs := workload()
+	ckpt := &deep.Checkpointing{Interval: daly, Write: write, Restore: write / 2, Buddy: true}
+	fmt.Println("24 jobs on 64 boosters under Weibull failures:")
 	for _, mode := range []struct {
 		name string
-		c    *resil.Checkpoint
+		c    *deep.Checkpointing
 	}{
 		{"none (restart from scratch)", nil},
 		{"buddy-SSD @ Daly", ckpt},
 	} {
-		s, inj := run(mode.c)
-		if len(s.Completed()) != 24 {
-			log.Fatalf("%s: only %d jobs completed", mode.name, len(s.Completed()))
+		res, err := deep.Run(ctx, m.NewEnv(), deep.ScheduledJobs{Jobs: jobs, Dynamic: true, Ckpt: mode.c})
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s %3d node failures injected, %3d healed\n",
-			mode.name, inj.NodeFailures, inj.NodeRepairs)
-		tab.AddRow(mode.name, s.Makespan().Seconds(), s.Utilisation(),
-			int(s.Requeued), s.LostWork.Seconds())
+		if !res.Verified {
+			log.Fatalf("%s: %v", mode.name, res.Notes)
+		}
+		failures, _ := res.Metric("node_failures")
+		repairs, _ := res.Metric("node_repairs")
+		makespan, _ := res.Metric("makespan_s")
+		requeues, _ := res.Metric("requeues")
+		lost, _ := res.Metric("lost_work_s")
+		fmt.Printf("  %-28s %3.0f node failures, %3.0f healed: makespan %6.2f s, %2.0f requeues, %6.1f s lost work\n",
+			mode.name, failures, repairs, makespan, requeues, lost)
 	}
-	fmt.Println()
-	tab.AddNote("same failure trace (seed 5) in both runs; checkpointing trades ~%.0f%% write overhead for far less rework", 100*delta/daly)
-	if err := tab.Render(os.Stdout); err != nil {
+	fmt.Printf("\nsame failure trace (seed 5) in both runs; checkpointing trades ~%.0f%% write\noverhead for far less rework\n\n", 100*delta/daly)
+
+	// The full checkpoint-interval sweep around the Daly optimum,
+	// through the experiment registry.
+	rep, err := (&deep.Runner{}).Run(ctx, "E14")
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println()
-
-	// Fabric-link outage: a transfer crossing a failed EXTOLL link is
-	// retried by the link layer and completes once the link heals.
-	eng := sim.New()
-	topo := topology.NewTorus3D(4, 4, 4)
-	p := fabric.Extoll
-	p.MaxRetries = 1 << 20
-	net := fabric.MustNetwork(eng, topo, p, 1)
-	route := topo.Route(0, 9)
-	clean := net.ZeroLoadLatency(0, 9, 1<<20)
-	net.LinkFailed(int(route[0]))
-	eng.At(2*sim.Millisecond, func() { net.LinkRepaired(int(route[0])) })
-	var delivered sim.Time
-	net.Send(0, 9, 1<<20, func(at sim.Time, err error) {
-		if err != nil {
-			log.Fatalf("transfer lost: %v", err)
-		}
-		delivered = at
-	})
-	eng.Run()
-	fmt.Printf("link outage: 1 MiB over a failed EXTOLL link delivered at %v "+
-		"(healthy fabric: %v), %d retries while down\n",
-		delivered, clean, net.Stats.Retransmits)
+	if err := (deep.TableSink{}).Write(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
 }

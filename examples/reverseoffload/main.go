@@ -2,19 +2,20 @@
 // services while they run. The paper's Booster nodes "act
 // autonomously", but the application's main() part — and with it
 // anything that needs the outside world (parameter databases, file
-// systems) — stays on the Cluster; this example shows a spawned
-// booster kernel fetching per-shard coefficients from a cluster-side
-// service through the inter-communicator, mid-kernel.
+// systems) — stays on the Cluster; this example shows a deep.Offload
+// workload whose kernel fetches per-shard coefficients from a
+// cluster-side service through the inter-communicator, mid-kernel.
 //
 //	go run ./examples/reverseoffload
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/mpi"
-	"repro/internal/offload"
+	"repro/deep"
 )
 
 func main() {
@@ -22,10 +23,29 @@ func main() {
 	// cannot host (it lives with main()).
 	coefficients := map[int]float64{0: 1.5, 1: 2.5, 2: 3.5, 3: 4.5}
 
-	cfg := offload.Config{
-		Workers: 4,
-		Spawn:   mpi.DefaultSpawnConfig(),
-		Services: map[string]offload.Service{
+	m, err := deep.NewMachine(deep.WithBoosterWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := deep.Offload{
+		Kernel: "weighted-scale",
+		Data:   []float64{10, 10, 10, 10, 10, 10, 10, 10},
+		// weighted-scale fetches its shard's coefficient from the
+		// cluster, then scales its slice of the data with it.
+		Reverse: func(call deep.ServiceCall, rank, size int, in []float64) ([]float64, error) {
+			coeff, err := call("coeff", []float64{float64(rank)})
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := deep.ShardRange(len(in), rank, size)
+			out := make([]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				out[i-lo] = in[i] * coeff[0]
+			}
+			return out, nil
+		},
+		Services: map[string]deep.ClusterService{
 			"coeff": func(args []float64) ([]float64, error) {
 				c, ok := coefficients[int(args[0])]
 				if !ok {
@@ -34,47 +54,17 @@ func main() {
 				return []float64{c}, nil
 			},
 		},
-		EnvKernels: map[string]offload.EnvKernel{
-			// weighted-scale fetches its shard's coefficient from the
-			// cluster, then scales its slice of the data with it.
-			"weighted-scale": func(env *offload.Env, req offload.Request) ([]float64, error) {
-				coeff, err := env.CallCluster("coeff", []float64{float64(env.Rank)})
-				if err != nil {
-					return nil, err
-				}
-				lo, hi := offload.ShardRange(len(req.Data), env.Rank, env.Size)
-				out := make([]float64, hi-lo)
-				for i := lo; i < hi; i++ {
-					out[i-lo] = req.Data[i] * coeff[0]
-				}
-				return out, nil
-			},
-		},
+		Want: []float64{15, 15, 25, 25, 35, 35, 45, 45},
 	}
 
-	_, err := mpi.Run(1, mpi.ZeroTransport{}, func(c *mpi.Comm) error {
-		m := offload.NewManager(c, cfg, nil)
-		defer m.Shutdown()
-
-		data := []float64{10, 10, 10, 10, 10, 10, 10, 10}
-		out, err := m.Invoke(offload.Request{Kernel: "weighted-scale", Data: data})
-		if err != nil {
-			return err
-		}
-		fmt.Println("booster kernel with reverse calls to the cluster:")
-		fmt.Printf("  input : %v\n", data)
-		fmt.Printf("  output: %v\n", out)
-		fmt.Printf("  reverse calls handled by the cluster: %d\n", m.ReverseCalls)
-		want := []float64{15, 15, 25, 25, 35, 35, 45, 45}
-		for i := range want {
-			if out[i] != want[i] {
-				return fmt.Errorf("verification failed at %d: %v != %v", i, out[i], want[i])
-			}
-		}
-		fmt.Println("  VERIFIED")
-		return nil
-	})
+	fmt.Println("booster kernel with reverse calls to the cluster:")
+	res, err := deep.Run(context.Background(), m.NewEnv(), w)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := res.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	calls, _ := res.Metric("reverse_calls")
+	fmt.Printf("reverse calls handled by the cluster: %.0f\n", calls)
 }

@@ -1,78 +1,50 @@
 // SpMV: the paper's "highly scalable" application class — a sparse
 // matrix-vector iteration with nearest-neighbour halo exchange —
-// running as real Global-MPI ranks over the modelled DEEP booster.
-// The example verifies the distributed result against the sequential
+// running as real Global-MPI ranks placed on the booster nodes of a
+// deep.Machine, so the virtual clocks reflect EXTOLL costs. The
+// workload verifies the distributed result against the sequential
 // reference and reports the communication statistics that make the
-// workload booster-friendly (regular, small, neighbour-only traffic).
+// class booster-friendly (regular, small, neighbour-only traffic).
 //
 //	go run ./examples/spmv
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
+	"os"
 
-	"repro/internal/apps"
-	"repro/internal/cbp"
-	"repro/internal/mpi"
+	"repro/deep"
 )
 
 func main() {
-	const nx, ny, iters, ranks = 64, 64, 20, 8
-
-	s := &apps.SpMV{NX: nx, NY: ny, Iters: iters}
-	want := s.RunSequential()
-
-	// Place the ranks on booster nodes of a DEEP machine so the
-	// virtual clocks reflect EXTOLL costs.
-	tr := cbp.NewDeepTransport(4, ranks)
-	world := mpi.NewWorld(tr, mpi.WithPlacement(func(ep int) int {
-		return tr.BoosterNode(ep % ranks)
-	}))
-
-	results := make([][]float64, ranks)
-	statsPerRank := make([]mpi.Stats, ranks)
-	makespan, err := world.Run(ranks, func(c *mpi.Comm) error {
-		out, err := s.Run(c)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = out
-		statsPerRank[c.Rank()] = c.Stats()
-		return nil
-	})
+	m, err := deep.NewMachine(
+		deep.WithClusterNodes(4),
+		deep.WithBoosterNodes(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var got []float64
-	for _, r := range results {
-		got = append(got, r...)
+	// Place the 8 ranks on booster nodes: the halo exchange travels
+	// the EXTOLL torus, exactly as DEEP runs this class of code.
+	env := m.NewEnv()
+	env.Ranks = 8
+	env.PlaceOnBooster = true
+
+	res, err := deep.Run(context.Background(), env, deep.SpMV{NX: 64, NY: 64, Iters: 20})
+	if err != nil {
+		log.Fatal(err)
 	}
-	maxDiff := 0.0
-	for i := range want {
-		maxDiff = math.Max(maxDiff, math.Abs(got[i]-want[i]))
+	if err := res.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("distributed SpMV: %dx%d grid, %d iterations, %d booster ranks\n",
-		nx, ny, iters, ranks)
-	fmt.Printf("  modelled time on EXTOLL torus: %v\n", makespan)
-	var msgs, bytes uint64
-	for _, st := range statsPerRank {
-		msgs += st.SentMsgs
-		bytes += st.SentBytes
-	}
-	fmt.Printf("  halo traffic: %d messages, %d bytes total (%d B per message)\n",
+	msgs, _ := res.Metric("messages")
+	bytes, _ := res.Metric("sent_bytes")
+	fmt.Printf("halo traffic: %.0f messages, %.0f bytes total (%.0f B per message)\n",
 		msgs, bytes, bytes/msgs)
-	fmt.Printf("  max |x - xref| = %.3e => %s\n", maxDiff, verdict(maxDiff < 1e-9))
-	fmt.Println("  communication pattern: nearest-neighbour only — the class the paper")
-	fmt.Println("  calls 'well suited' for torus machines like the Booster")
-}
-
-func verdict(ok bool) string {
-	if ok {
-		return "VERIFIED"
-	}
-	return "FAILED"
+	fmt.Println("communication pattern: nearest-neighbour only — the class the paper")
+	fmt.Println("calls 'well suited' for torus machines like the Booster")
 }

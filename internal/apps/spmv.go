@@ -28,19 +28,12 @@ const (
 func (s *SpMV) rowsOf(rank, size int) (lo, hi int) {
 	base := s.NY / size
 	rem := s.NY % size
-	lo = rank*base + minInt(rank, rem)
+	lo = rank*base + min(rank, rem)
 	hi = lo + base
 	if rank < rem {
 		hi++
 	}
 	return
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Run executes Iters Jacobi-like multiplications y = A*x, x = y/8 on

@@ -309,7 +309,7 @@ func TestDeepTransportBoosterLatencyLower(t *testing.T) {
 
 func TestTorusShapeCoversRequest(t *testing.T) {
 	for _, n := range []int{1, 2, 7, 8, 27, 60, 100, 512} {
-		x, y, z := torusShape(n)
+		x, y, z := TorusShape(n)
 		if x*y*z < n {
 			t.Fatalf("shape %dx%dx%d < %d", x, y, z, n)
 		}

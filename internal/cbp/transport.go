@@ -37,7 +37,7 @@ func NewDeepTransport(cn, bn int) *DeepTransport {
 		panic(fmt.Sprintf("cbp: DEEP machine with %d cluster / %d booster nodes", cn, bn))
 	}
 	leaves := (cn + 15) / 16
-	x, y, z := torusShape(bn)
+	x, y, z := TorusShape(bn)
 	return &DeepTransport{
 		ClusterTopo:      topology.NewFatTree(16, leaves, 8),
 		BoosterTopo:      topology.NewTorus3D(x, y, z),
@@ -48,9 +48,9 @@ func NewDeepTransport(cn, bn int) *DeepTransport {
 	}
 }
 
-// torusShape factors n into a near-cubic 3D shape covering at least n
-// nodes.
-func torusShape(n int) (x, y, z int) {
+// TorusShape factors n into a near-cubic 3D shape covering at least n
+// nodes — the booster topology NewDeepTransport models.
+func TorusShape(n int) (x, y, z int) {
 	x, y, z = 1, 1, 1
 	for x*y*z < n {
 		switch {

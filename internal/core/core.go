@@ -37,8 +37,14 @@ type Config struct {
 	// that size during startup (collectively), exposed as Deep.Boost.
 	BoosterWorkers int
 	// Registry provides the kernels the booster workers can run.
-	// Required when BoosterWorkers > 0.
+	// Required when BoosterWorkers > 0 unless EnvKernels is set.
 	Registry offload.Registry
+	// EnvKernels are kernels that need the worker environment
+	// (reverse calls back to cluster-side services).
+	EnvKernels map[string]offload.EnvKernel
+	// Services are the cluster-side functions booster kernels may
+	// invoke through Env.CallCluster while an Invoke is in flight.
+	Services map[string]offload.Service
 	// ModelCompute charges booster kernels the KNC node-model time,
 	// so virtual clocks reflect computation as well as communication.
 	ModelCompute bool
@@ -55,7 +61,7 @@ func (c *Config) Validate() error {
 	if c.ClusterNodes < 1 || c.BoosterNodes < 1 {
 		return fmt.Errorf("core: machine %d/%d nodes", c.ClusterNodes, c.BoosterNodes)
 	}
-	if c.BoosterWorkers > 0 && c.Registry == nil {
+	if c.BoosterWorkers > 0 && c.Registry == nil && len(c.EnvKernels) == 0 {
 		return fmt.Errorf("core: booster workers requested without a kernel registry")
 	}
 	if c.BoosterWorkers > c.BoosterNodes {
@@ -104,7 +110,12 @@ func Run(cfg Config, app App) (sim.Time, error) {
 			if spawn.Place == nil {
 				spawn.Place = tr.BoosterNode
 			}
-			ocfg := offload.Config{Workers: cfg.BoosterWorkers, Spawn: spawn}
+			ocfg := offload.Config{
+				Workers:    cfg.BoosterWorkers,
+				Spawn:      spawn,
+				EnvKernels: cfg.EnvKernels,
+				Services:   cfg.Services,
+			}
 			if cfg.ModelCompute {
 				knc := machine.KNC
 				ocfg.Model = &knc

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/cbp"
 	"repro/internal/fabric"
@@ -23,10 +25,10 @@ import (
 // queue policies by replaying the same graph with priorities zeroed
 // (FIFO-equivalent) and set (priority scheduler), plus the fork-join
 // bound for context.
-func runA01() *stats.Table {
+func runA01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	c, err := apps.NewCholesky(linalg.NewMatrix(512, 512), 32)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	withPrio := c.Graph(machine.KNC)
 	// A FIFO-equivalent graph: same structure, priorities flattened.
@@ -38,13 +40,16 @@ func runA01() *stats.Table {
 		"A01 Ablation: ready-queue policy on tiled Cholesky (16x16 tiles)",
 		"workers", "priority_ms", "fifo_ms", "priority_gain")
 	for _, w := range []int{2, 4, 8, 16, 32} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := withPrio.Makespan(w)
 		f := flat.Makespan(w)
 		tab.AddRow(w, float64(p)/float64(sim.Millisecond),
 			float64(f)/float64(sim.Millisecond), float64(f)/float64(p))
 	}
 	tab.AddNote("priorities favour critical-path potrf/trsm tasks; gain peaks at moderate worker counts")
-	return tab
+	return tab, nil
 }
 
 // A02: booster allocation policy. Contiguous sub-torus allocation
@@ -52,33 +57,42 @@ func runA01() *stats.Table {
 // allocate half the torus under each policy with prior fragmentation
 // and compare the mean pairwise hop distance of the allocation — the
 // quantity halo-exchange latency scales with.
-func runA02() *stats.Table {
+func runA02(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A02 Ablation: contiguous vs first-fit booster allocation",
 		"alloc_nodes", "firstfit_avg_hops", "subtorus_avg_hops", "improvement")
 	for _, n := range []int{4, 8, 16} {
-		ff := allocAvgHops(n, resource.FirstFit)
-		ct := allocAvgHops(n, resource.Contiguous)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ff, err := allocAvgHops(n, resource.FirstFit)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := allocAvgHops(n, resource.Contiguous)
+		if err != nil {
+			return nil, err
+		}
 		tab.AddRow(n, ff, ct, ff/ct)
 	}
 	tab.AddNote("prior fragmentation: every 5th node busy; contiguous allocation keeps hop counts low")
-	return tab
+	return tab, nil
 }
 
 // allocAvgHops fragments a 6x6x6 torus pool (every 5th node taken out
 // of service), allocates n nodes with the policy and returns the mean
 // pairwise hop distance of the allocation.
-func allocAvgHops(n int, p resource.Policy) float64 {
+func allocAvgHops(n int, p resource.Policy) (float64, error) {
 	tor := topology.NewTorus3D(6, 6, 6)
 	pool := resource.NewTorusPool(tor)
 	for i := 0; i < tor.Nodes(); i += 5 {
 		if err := pool.MarkDown(i); err != nil {
-			panic(err)
+			return 0, err
 		}
 	}
 	ids, err := pool.Alloc(n, p)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	sum, cnt := 0, 0
 	for _, a := range ids {
@@ -90,21 +104,24 @@ func allocAvgHops(n int, p resource.Policy) float64 {
 		}
 	}
 	if cnt == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(sum) / float64(cnt)
+	return float64(sum) / float64(cnt), nil
 }
 
 // A03: VELO eager limit. The engine switch point trades handshake
 // savings for buffer copies; we sweep the limit and report the
 // mid-size message latency to show the chosen 4 KiB default sits at
 // the knee.
-func runA03() *stats.Table {
+func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A03 Ablation: VELO eager-limit sensitivity (8 KiB messages)",
 		"eager_limit", "time_us", "engine")
 	const size = 8 << 10
 	for _, limit := range []int{512, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng := sim.New()
 		tor := topology.NewTorus3D(4, 4, 1)
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
@@ -121,19 +138,22 @@ func runA03() *stats.Table {
 		tab.AddRow(limit, at.Micros(), engine)
 	}
 	tab.AddNote("once the limit admits the message, VELO skips the rendezvous round trip")
-	return tab
+	return tab, nil
 }
 
 // A04: gateway provisioning. The number of Booster Interface nodes
 // bounds cross-fabric bandwidth; we sweep concurrent cross-traffic
 // over one shared gateway and report the completion time stretch —
 // the sizing argument for BI nodes.
-func runA04() *stats.Table {
+func runA04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A04 Ablation: Booster Interface saturation under concurrent cross-traffic",
 		"concurrent_msgs", "finish_ms", "per_msg_ms", "gateway_util")
 	const size = 4 << 20
 	for _, k := range []int{1, 2, 4, 8, 16} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng := sim.New()
 		cluster := fabric.MustNetwork(eng, topology.NewFatTree(4, 4, 4), fabric.InfiniBandFDR, 1)
 		booster := fabric.MustNetwork(eng, topology.NewTorus3D(4, 4, 2), fabric.Extoll, 2)
@@ -152,7 +172,7 @@ func runA04() *stats.Table {
 		tab.AddRow(k, ms, ms/float64(k), gw.Utilisation())
 	}
 	tab.AddNote("one SMFU gateway serialises staging: per-message time flattens once saturated")
-	return tab
+	return tab, nil
 }
 
 func init() {

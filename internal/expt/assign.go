@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"repro/internal/resource"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -16,10 +18,10 @@ import (
 // e02Workload builds a reproducible job mix over 16 cluster nodes
 // owning 64 boosters (4 each): demand is Zipf-skewed, so some jobs
 // want many boosters while their owner only has 4.
-func e02Workload(seed uint64) []*resource.Job {
+func e02Workload(jobCount int, seed uint64) []*resource.Job {
 	r := rng.New(seed)
 	zipf := rng.NewZipf(r, 16, 1.2)
-	jobs := make([]*resource.Job, 48)
+	jobs := make([]*resource.Job, jobCount)
 	for i := range jobs {
 		demand := 1 << uint(zipf.Next()%5) // 1,2,4,8,16 boosters
 		jobs[i] = &resource.Job{
@@ -33,31 +35,35 @@ func e02Workload(seed uint64) []*resource.Job {
 	return jobs
 }
 
-func e02Run(mode resource.AssignMode, seed uint64) *resource.Scheduler {
+func e02Run(mode resource.AssignMode, jobCount int, seed uint64) *resource.Scheduler {
 	eng := sim.New()
 	pool := resource.NewPool(64)
 	pool.PartitionOwners(4)
 	s := resource.NewScheduler(eng, pool, mode)
 	s.Backfill = mode == resource.Dynamic
-	for _, j := range e02Workload(seed) {
+	for _, j := range e02Workload(jobCount, seed) {
 		s.Submit(j)
 	}
 	eng.Run()
 	return s
 }
 
-func runE02() *stats.Table {
+func runE02(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	jobs := cfg.scale(48)
 	tab := stats.NewTable(
 		"E02 Booster assignment: static ownership vs dynamic pool",
 		"mode", "makespan_s", "utilisation", "mean_wait_ms", "completed")
 	for _, mode := range []resource.AssignMode{resource.Static, resource.Dynamic} {
-		s := e02Run(mode, 7)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := e02Run(mode, jobs, cfg.seed(7))
 		tab.AddRow(mode.String(), s.Makespan().Seconds(), s.Utilisation(),
 			float64(s.MeanWait())/float64(sim.Millisecond), len(s.Completed()))
 	}
-	tab.AddNote("48 jobs, Zipf-skewed demand (1-16 boosters), 16 owners x 4 boosters")
+	tab.AddNote("%d jobs, Zipf-skewed demand (1-16 boosters), 16 owners x 4 boosters", jobs)
 	tab.AddNote("expected shape: dynamic assignment has clearly lower makespan under skewed demand")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -14,13 +15,13 @@ import (
 // modelled makespan of the dataflow execution against the fork-join
 // baseline (barrier after each outer iteration) over worker counts,
 // on a KNC-like node — exactly the decoupling win OmpSs claims.
-func runE06() *stats.Table {
+func runE06(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	const n, ts = 512, 32 // NT = 16 tiles
 	// The task graph and the makespan model depend only on the tile
 	// structure, not on the matrix values, so a zero matrix suffices.
 	c, err := apps.NewCholesky(linalg.NewMatrix(n, n), ts)
 	if err != nil {
-		panic(fmt.Sprintf("expt: %v", err))
+		return nil, fmt.Errorf("expt: %w", err)
 	}
 	g := c.Graph(machine.KNC)
 	serial := g.Makespan(1)
@@ -29,6 +30,9 @@ func runE06() *stats.Table {
 		"E06 Tiled Cholesky: dataflow (OmpSs) vs fork-join, 16x16 tiles",
 		"workers", "dataflow_speedup", "forkjoin_speedup", "dataflow_advantage")
 	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		df := g.Makespan(w)
 		fj := c.ForkJoinMakespan(machine.KNC, w)
 		sdf := float64(serial) / float64(df)
@@ -38,7 +42,7 @@ func runE06() *stats.Table {
 	tab.AddNote("tasks=%d, work=%v, critical path=%v (max speedup %.1f)",
 		g.Len(), serial, cp, float64(serial)/float64(cp))
 	tab.AddNote("expected shape: dataflow tracks ideal longer; fork-join saturates earlier (barrier idle time)")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"repro/internal/energy"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -12,7 +14,7 @@ import (
 // workload — a large vectorisable kernel plus a scalar control part —
 // runs on three machines: cluster-only, booster-only, and DEEP with
 // the kernel offloaded. We integrate node power over the phases.
-func runE11() *stats.Table {
+func runE11(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	const (
 		kernelFlops = 4e13 // highly scalable code part
 		scalarFlops = 2e10 // main() control flow
@@ -29,6 +31,9 @@ func runE11() *stats.Table {
 		return m.Time(machine.Kernel{Flops: scalarFlops, ParallelFraction: 0}, 1)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tab := stats.NewTable(
 		"E11 Energy: cluster-only vs booster-only vs DEEP offload",
 		"config", "time_s", "energy_kJ", "GFlop/W", "vs_cluster")
@@ -79,7 +84,7 @@ func runE11() *stats.Table {
 	}
 	tab.AddNote("mixed workload: 40 TFlop vector kernel + 20 GFlop scalar control part, 16 nodes")
 	tab.AddNote("expected shape: booster-only wastes energy on the scalar part; DEEP beats cluster-only clearly")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -1,28 +1,67 @@
 // Package expt is the experiment harness of the reproduction: one
 // generator per paper figure/claim, each producing a printable table
-// with the same rows/series the paper's argument rests on. The
-// cmd/deepbench binary and the top-level benchmarks drive this
+// with the same rows/series the paper's argument rests on. The public
+// deep package (deep.Runner) and the cmd/deepbench binary drive this
 // registry; EXPERIMENTS.md records paper-vs-measured for every entry.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/stats"
 )
 
+// Config carries the cross-cutting run-time overrides an experiment
+// run accepts. The zero-value semantics are chosen so that
+// DefaultConfig() reproduces the published tables byte-for-byte.
+type Config struct {
+	// Seed, when non-zero, overrides the published RNG seed of every
+	// seeded experiment (E02, E09, E13, E14, ...). Zero keeps each
+	// experiment's default seed.
+	Seed uint64
+	// Scale multiplies the workload size of experiments with a natural
+	// size axis (job counts, message counts). Values <= 0 or == 1 keep
+	// the paper scale.
+	Scale float64
+}
+
+// DefaultConfig returns the configuration that reproduces the
+// published tables exactly.
+func DefaultConfig() *Config { return &Config{Scale: 1} }
+
+// seed resolves the effective seed given an experiment's default.
+func (c *Config) seed(def uint64) uint64 {
+	if c == nil || c.Seed == 0 {
+		return def
+	}
+	return c.Seed
+}
+
+// scale resolves a workload size n under the configured scale factor,
+// never below 1.
+func (c *Config) scale(n int) int {
+	if c == nil || c.Scale <= 0 || c.Scale == 1 {
+		return n
+	}
+	s := int(float64(n)*c.Scale + 0.5)
+	return max(s, 1)
+}
+
 // Experiment is one reproducible figure.
 type Experiment struct {
-	// ID is the experiment identifier (E01..E12).
+	// ID is the experiment identifier (E01.., A01..).
 	ID string
 	// Title is a short description.
 	Title string
 	// PaperRef points at the slide/figure of the paper being
 	// reproduced.
 	PaperRef string
-	// Run generates the table. Runs are deterministic.
-	Run func() *stats.Table
+	// Run generates the table. Runs are deterministic for a fixed
+	// Config; ctx cancellation aborts between sweep points. A nil cfg
+	// is treated as DefaultConfig().
+	Run func(ctx context.Context, cfg *Config) (*stats.Table, error)
 }
 
 var registry = map[string]Experiment{}

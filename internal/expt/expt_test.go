@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -46,7 +47,10 @@ func run(t *testing.T, id string) map[string][]string {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	tab := e.Run()
+	tab, err := e.Run(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
 	if len(tab.Rows) == 0 {
 		t.Fatalf("%s produced no rows", id)
 	}
@@ -343,8 +347,13 @@ func TestE14DalyIntervalNearOptimal(t *testing.T) {
 }
 
 func TestAllExperimentsRenderAndAreDeterministic(t *testing.T) {
+	ctx := context.Background()
 	for _, e := range All() {
-		t1, t2 := e.Run(), e.Run()
+		t1, err1 := e.Run(ctx, DefaultConfig())
+		t2, err2 := e.Run(ctx, nil) // nil cfg must behave like DefaultConfig
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s failed: %v / %v", e.ID, err1, err2)
+		}
 		var a, b strings.Builder
 		if err := t1.Render(&a); err != nil {
 			t.Fatalf("%s render: %v", e.ID, err)
@@ -358,5 +367,50 @@ func TestAllExperimentsRenderAndAreDeterministic(t *testing.T) {
 		if len(t1.Notes) == 0 {
 			t.Fatalf("%s has no paper-vs-measured notes", e.ID)
 		}
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"E01", "E04", "E13"} {
+		e, _ := Get(id)
+		if _, err := e.Run(ctx, DefaultConfig()); err == nil {
+			t.Fatalf("%s ignored a cancelled context", id)
+		}
+	}
+}
+
+func TestConfigSeedOverrideChangesSeededExperiments(t *testing.T) {
+	e, _ := Get("E02")
+	def, err := e.Run(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := e.Run(context.Background(), &Config{Seed: 12345, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := def.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := alt.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("seed override did not change the E02 job mix")
+	}
+}
+
+func TestConfigScaleChangesWorkloadSize(t *testing.T) {
+	e, _ := Get("E10")
+	tab, err := e.Run(context.Background(), &Config{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half scale: 100 messages delivered instead of 200 at rate 0.
+	if tab.Rows[0][1] != "100" {
+		t.Fatalf("scaled E10 delivered %s messages, want 100", tab.Rows[0][1])
 	}
 }

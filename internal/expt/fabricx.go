@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/fabric"
 	"repro/internal/rng"
@@ -29,11 +31,14 @@ func engineTime(size int, useRMA bool) sim.Time {
 	return at
 }
 
-func runE08() *stats.Table {
+func runE08(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E08 EXTOLL engines: VELO (eager) vs RMA (rendezvous)",
 		"bytes", "velo_us", "rma_us", "velo_GB/s", "rma_GB/s", "faster")
 	for _, size := range []int{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 256 << 10, 4 << 20} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		velo := engineTime(size, false)
 		rma := engineTime(size, true)
 		faster := "velo"
@@ -44,27 +49,31 @@ func runE08() *stats.Table {
 	}
 	tab.AddNote("VELO wins below the eager limit; the RMA handshake amortises for bulk transfers")
 	tab.AddNote("expected shape: VELO lower latency for small messages; curves converge at large sizes")
-	return tab
+	return tab, nil
 }
 
 // E09: the 3D torus (paper slide 16: "6 links for 3D torus
 // topology"). Neighbour and worst-case latency plus delivered
 // bandwidth under uniform-random load versus torus size.
-func runE09() *stats.Table {
+func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	msgsPerNode := cfg.scale(4)
 	tab := stats.NewTable(
 		"E09 EXTOLL 3D torus: latency and loaded throughput vs size",
 		"torus", "nodes", "diameter", "nbr_us", "diam_us", "rand_load_GB/s", "per_node_GB/s")
 	for _, k := range []int{2, 3, 4, 6} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tor := topology.NewTorus3D(k, k, k)
 		eng := sim.New()
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
 		nbr := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(1, 0, 0), 64)
 		diam := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(k/2, k/2, k/2), 64)
 
-		// Uniform random load: every node fires 4 random 64 KiB
-		// messages; delivered bytes / finish time.
-		r := rng.New(99)
-		msgs := apps.UniformRandom(tor.Nodes(), tor.Nodes()*4, 64<<10, r)
+		// Uniform random load: every node fires msgsPerNode random
+		// 64 KiB messages; delivered bytes / finish time.
+		r := rng.New(cfg.seed(99))
+		msgs := apps.UniformRandom(tor.Nodes(), tor.Nodes()*msgsPerNode, 64<<10, r)
 		for _, m := range msgs {
 			net.Send(m.Src, m.Dst, m.Bytes, func(sim.Time, error) {})
 		}
@@ -75,20 +84,23 @@ func runE09() *stats.Table {
 	}
 	tab.AddNote("neighbour latency is size-independent; diameter latency grows with k/2 per dimension")
 	tab.AddNote("expected shape: aggregate throughput grows with size, per-node throughput sags (bisection)")
-	return tab
+	return tab, nil
 }
 
 // E10: RAS — CRC protection with link-level retransmission (slide 16).
 // Goodput and latency inflation versus injected per-packet link error
 // rate; deliveries must stay lossless until the retry budget is hit.
-func runE10() *stats.Table {
+func runE10(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E10 Link-level retransmission under injected errors",
 		"error_rate", "delivered", "drops", "retransmits", "latency_x", "goodput_x")
-	const msgs = 200
+	msgs := cfg.scale(200)
 	const size = 256 << 10
 	base := sim.Time(0)
 	for _, rate := range []float64{0, 1e-4, 1e-3, 1e-2, 5e-2} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := fabric.Extoll
 		p.PacketErrorRate = rate
 		p.MaxRetries = 64
@@ -115,7 +127,7 @@ func runE10() *stats.Table {
 	}
 	tab.AddNote("CRC detects every corrupted packet; the link retransmits locally (no end-to-end recovery needed)")
 	tab.AddNote("expected shape: zero drops through 1e-2; latency inflation tracks the retransmission rate")
-	return tab
+	return tab, nil
 }
 
 func init() {

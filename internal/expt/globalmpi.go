@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cbp"
@@ -13,7 +14,7 @@ import (
 // 21, 26-27): MPI_Comm_spawn is the startup mechanism for booster
 // code parts. We measure the modelled spawn-to-ready latency versus
 // the number of spawned booster processes.
-func spawnLatency(n int) sim.Time {
+func spawnLatency(n int) (sim.Time, error) {
 	tr := cbp.NewDeepTransport(16, 256)
 	w := mpi.NewWorld(tr)
 	var rootTime sim.Time
@@ -36,34 +37,43 @@ func spawnLatency(n int) sim.Time {
 		return nil
 	})
 	if err != nil {
-		panic(fmt.Sprintf("expt: spawn run failed: %v", err))
+		return 0, fmt.Errorf("expt: spawn run failed: %w", err)
 	}
-	return rootTime
+	return rootTime, nil
 }
 
-func runE05() *stats.Table {
+func runE05(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E05 MPI_Comm_spawn startup latency vs booster processes",
 		"procs", "spawn_ms", "ms_per_proc")
 	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
-		t := spawnLatency(n)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t, err := spawnLatency(n)
+		if err != nil {
+			return nil, err
+		}
 		ms := float64(t) / float64(sim.Millisecond)
 		tab.AddRow(n, ms, ms/float64(n))
 	}
 	tab.AddNote("spawn is a collective of the cluster processes; cost = RM base + per-process startup + wire-up")
 	tab.AddNote("expected shape: near-linear growth with process count, amortised per-process cost flattening")
-	return tab
+	return tab, nil
 }
 
 // E07: Global MPI over the Booster Interface (slides 24-29): the price
 // of talking across the bridge versus staying inside one fabric, and
 // an intercommunicator round trip as used by the offload layer.
-func runE07() *stats.Table {
+func runE07(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tr := cbp.NewDeepTransport(64, 64)
 	tab := stats.NewTable(
 		"E07 Global MPI: intra-fabric vs cross-gateway communication",
 		"bytes", "cluster_us", "booster_us", "cross_us", "cross_penalty")
 	for _, size := range []int{64, 4 << 10, 64 << 10, 1 << 20, 16 << 20} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		intraC := tr.Cost(1, 2, size) + tr.SendOverhead() + tr.RecvOverhead()
 		intraB := tr.Cost(tr.BoosterNode(1), tr.BoosterNode(2), size) +
 			tr.SendOverhead() + tr.RecvOverhead()
@@ -74,7 +84,7 @@ func runE07() *stats.Table {
 	}
 	tab.AddNote("cross-gateway pays both fabrics plus SMFU store-and-forward")
 	tab.AddNote("expected shape: crossing costs 2-4x intra-fabric; penalty shrinks as bandwidth dominates")
-	return tab
+	return tab, nil
 }
 
 func init() {

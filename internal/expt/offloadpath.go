@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -48,11 +50,14 @@ func gbps(size int, t sim.Time) float64 {
 	return float64(size) / t.Seconds() / fabric.GB
 }
 
-func runE01() *stats.Table {
+func runE01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E01 Offload path: PCIe-staged accelerator vs network-attached booster",
 		"bytes", "pcie_us", "extoll_us", "pcie_GB/s", "extoll_GB/s", "winner")
 	for _, size := range e01Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pcie := pcieTransferTime(size, true)
 		ext := networkTransferTime(size, 2)
 		winner := "extoll"
@@ -63,7 +68,7 @@ func runE01() *stats.Table {
 	}
 	tab.AddNote("paper: accelerators on PCIe stage through host memory; network-attached boosters avoid the copy")
 	tab.AddNote("expected shape: EXTOLL wins at every size; PCIe gap widens with message size")
-	return tab
+	return tab, nil
 }
 
 // E03: offloading complete kernels "relieves pressure on the CPU-to-
@@ -72,11 +77,14 @@ func runE01() *stats.Table {
 // accelerator -> PCIe -> host -> network -> host -> PCIe ->
 // accelerator) or stays NIC-to-NIC inside the booster. We count the
 // bytes crossing the CPU/accelerator boundary and the iteration time.
-func runE03() *stats.Table {
+func runE03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E03 Communication pressure: host-centric offload vs booster-resident kernel",
 		"halo_KiB", "host_path_us", "booster_path_us", "pcie_crossings_B", "booster_cn_bytes", "speedup")
 	for _, halo := range []int{4 << 10, 64 << 10, 512 << 10, 4 << 20} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Host-centric: two PCIe crossings plus an InfiniBand hop.
 		eng := sim.New()
 		bus := fabric.NewPCIeBus(eng, fabric.PCIe2x8, 8*fabric.GB, true)
@@ -98,7 +106,7 @@ func runE03() *stats.Table {
 	}
 	tab.AddNote("host path crosses PCIe twice per halo; booster-resident kernels keep halos on the EXTOLL torus")
 	tab.AddNote("expected shape: booster-resident wins by >2x at all sizes; CN boundary traffic drops to zero")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,11 +31,11 @@ var (
 // e13Workload builds a job mix whose total work scales with the
 // machine so the failure-free makespan is size-independent: demand is
 // Zipf-skewed in units of size/64 boosters across 16 owner groups.
-func e13Workload(size int, seed uint64) []*resource.Job {
+func e13Workload(size, jobCount int, seed uint64) []*resource.Job {
 	r := rng.New(seed)
 	zipf := rng.NewZipf(r, 16, 1.2)
 	unit := size / 64
-	jobs := make([]*resource.Job, 80)
+	jobs := make([]*resource.Job, jobCount)
 	for i := range jobs {
 		demand := unit << uint(zipf.Next()%5) // unit .. 16*unit boosters
 		jobs[i] = &resource.Job{
@@ -62,7 +63,7 @@ func e13Ckpt() *resil.Checkpoint {
 // e13Run schedules the workload on a size-node booster with the given
 // per-node MTBF (0 = perfect machine) and returns the scheduler and
 // the useful nominal work in node-seconds.
-func e13Run(size int, mode resource.AssignMode, mtbf float64, seed uint64) (*resource.Scheduler, float64) {
+func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uint64) (*resource.Scheduler, float64) {
 	eng := sim.New()
 	pool := resource.NewPool(size)
 	pool.PartitionOwners(size / 16)
@@ -70,7 +71,7 @@ func e13Run(size int, mode resource.AssignMode, mtbf float64, seed uint64) (*res
 	s.Backfill = mode == resource.Dynamic
 	s.Ckpt = e13Ckpt()
 	work := 0.0
-	for _, j := range e13Workload(size, seed) {
+	for _, j := range e13Workload(size, jobCount, seed) {
 		work += float64(j.Boosters) * j.Duration.Seconds()
 		s.Submit(j)
 	}
@@ -94,15 +95,19 @@ func e13Eff(s *resource.Scheduler, work float64) float64 {
 	return work / (float64(s.Pool.Size()) * m.Seconds())
 }
 
-func runE13() *stats.Table {
+func runE13(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	jobs := cfg.scale(80)
 	tab := stats.NewTable(
 		"E13 Job efficiency vs node MTBF, 64-4096 boosters, static vs dynamic",
 		"size/mtbf", "boosters", "node_mtbf_s", "eff_static", "eff_dynamic",
 		"requeues_static", "requeues_dynamic")
 	for _, size := range e13Sizes {
 		for _, mtbf := range e13MTBFs {
-			st, workS := e13Run(size, resource.Static, mtbf, 11)
-			dy, workD := e13Run(size, resource.Dynamic, mtbf, 11)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			st, workS := e13Run(size, jobs, resource.Static, mtbf, cfg.seed(11))
+			dy, workD := e13Run(size, jobs, resource.Dynamic, mtbf, cfg.seed(11))
 			label := "inf"
 			if mtbf > 0 {
 				label = fmt.Sprintf("%.0f", mtbf)
@@ -111,10 +116,10 @@ func runE13() *stats.Table {
 				e13Eff(st, workS), e13Eff(dy, workD), int(st.Requeued), int(dy.Requeued))
 		}
 	}
-	tab.AddNote("80 jobs, Zipf demand in units of size/64 boosters; buddy-SSD checkpoints every 4 s; repair 20 s")
+	tab.AddNote("%d jobs, Zipf demand in units of size/64 boosters; buddy-SSD checkpoints every 4 s; repair 20 s", jobs)
 	tab.AddNote("expected shape: efficiency flat in MTBF at 64 nodes, collapsing at 4096 (same per-node MTBF)")
 	tab.AddNote("expected shape: dynamic assignment degrades more gracefully than static under failures")
-	return tab
+	return tab, nil
 }
 
 // --- E14: checkpoint interval sweep vs the Daly optimum -------------
@@ -173,7 +178,7 @@ func e14MeanWall(s *resource.Scheduler) float64 {
 	return sum / float64(len(s.Completed()))
 }
 
-func runE14() *stats.Table {
+func runE14(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	delta := 2 * e14Write // buddy-replicated write cost
 	daly := resil.DalyInterval(delta, e14MTBF)
 	young := resil.YoungInterval(delta, e14MTBF)
@@ -192,7 +197,10 @@ func runE14() *stats.Table {
 		{"none", 0},
 	}
 	for _, sw := range sweep {
-		s := e14Run(sw.interval, 23)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := e14Run(sw.interval, cfg.seed(23))
 		wall := e14MeanWall(s)
 		analytic := math.NaN()
 		if sw.interval > 0 {
@@ -203,7 +211,7 @@ func runE14() *stats.Table {
 	tab.AddNote("48 single-node jobs of 60 s compute; exponential node MTBF 25 s, repair 1 s; buddy-SSD write 2x0.5 s")
 	tab.AddNote("young interval %.1f s, daly interval %.1f s for delta=1 s", young, daly)
 	tab.AddNote("expected shape: wall time minimised near the Daly interval; too-frequent pays overhead, too-rare pays rework, none pays full restarts")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/machine"
@@ -13,13 +14,16 @@ import (
 // DEEP lets an application put each part where it scales. We sweep
 // node counts and report parallel efficiency per (application class,
 // machine) pair, plus the sustained performance of the best mapping.
-func runE04() *stats.Table {
+func runE04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	cluster, booster, deep := machine.DEEPConfigs(512, 4096)
 	tab := stats.NewTable(
 		"E04 Scalability classes and DEEP positioning",
 		"nodes", "regular@booster", "regular@cluster", "complex@cluster",
 		"complex@booster", "mixed@deep")
 	for _, n := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		regB := booster.Efficiency(machine.RegularSparse, machine.KNC, n)
 		regC := cluster.Efficiency(machine.RegularSparse, machine.Xeon, n)
 		cxC := cluster.Efficiency(machine.ComplexApp, machine.Xeon, n)
@@ -32,7 +36,7 @@ func runE04() *stats.Table {
 	}
 	tab.AddNote("regular codes hold efficiency to thousands of nodes; complex codes collapse early")
 	tab.AddNote("expected shape: regular@booster ~ regular@cluster >> complex@*; DEEP's mixed mapping sits between")
-	return tab
+	return tab, nil
 }
 
 // E12: technology scaling (paper slides 2-4): Moore's law doubles
@@ -40,7 +44,7 @@ func runE04() *stats.Table {
 // supercomputers gain x1000/decade, and single-thread (multi-core
 // scalar) performance has stopped scaling. We project node classes
 // 2008-2020 from those growth laws.
-func runE12() *stats.Table {
+func runE12(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E12 Technology scaling: multi-core vs many-core trajectories",
 		"year", "scalar_GF", "multicore_node_GF", "manycore_node_GF", "system_x_per_decade")
@@ -50,6 +54,9 @@ func runE12() *stats.Table {
 		manycore2008  = 80.0
 	)
 	for year := 2008; year <= 2020; year += 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dy := float64(year - 2008)
 		// Scalar speed nearly flat: ~5%/year.
 		scalar := scalar2008 * math.Pow(1.05, dy)
@@ -64,7 +71,7 @@ func runE12() *stats.Table {
 	}
 	tab.AddNote("multi-core ceases scaling (x10/decade); many-core tracks Moore (x100/decade);")
 	tab.AddNote("the x1000/decade system growth (Meuer) therefore requires many-core + more nodes - the DEEP premise")
-	return tab
+	return tab, nil
 }
 
 func init() {

@@ -59,13 +59,6 @@ func TestPotrfReconstruction(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestTrsmSolves(t *testing.T) {
 	r := rng.New(7)
 	n := 8

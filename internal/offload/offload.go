@@ -275,10 +275,3 @@ func ShardRange(n, rank, size int) (lo, hi int) {
 	}
 	return
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
