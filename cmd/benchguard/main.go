@@ -1,0 +1,97 @@
+// Command benchguard is the CI benchmark smoke gate: it compares the
+// BENCH_<id>.json files cmd/deepbench -bench -json emits against the
+// checked-in wall-clock baseline and fails when any experiment has
+// regressed by more than the configured factor.
+//
+// The baseline numbers are deliberately generous (several times a
+// developer-laptop measurement) so that shared CI runners do not flap;
+// the gate exists to catch order-of-magnitude regressions — an
+// accidentally quadratic bucket scan, a lost fast path — not to police
+// single-digit percentages.
+//
+//	go run ./cmd/deepbench -bench 3 -json -run E01,E04,E08,E12,E15
+//	go run ./cmd/benchguard
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// baseline is the checked-in wire format (ci/bench-baseline.json).
+type baseline struct {
+	// Threshold is the allowed slowdown factor over each baseline.
+	Threshold float64 `json:"threshold"`
+	// BaselinesMs maps experiment ID to the reference wall-clock
+	// milliseconds per regeneration.
+	BaselinesMs map[string]float64 `json:"baselines_ms"`
+}
+
+// benchResult mirrors cmd/deepbench's BENCH_<id>.json schema.
+type benchResult struct {
+	ID      string  `json:"id"`
+	Runs    int     `json:"runs"`
+	MsPerOp float64 `json:"ms_per_op"`
+}
+
+func main() {
+	var (
+		baseFlag = flag.String("baseline", "ci/bench-baseline.json", "baseline file")
+		dirFlag  = flag.String("dir", ".", "directory holding BENCH_<id>.json files")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baseFlag, err)
+		os.Exit(1)
+	}
+	if base.Threshold <= 1 {
+		fmt.Fprintf(os.Stderr, "benchguard: threshold %v must exceed 1\n", base.Threshold)
+		os.Exit(1)
+	}
+
+	ids := make([]string, 0, len(base.BaselinesMs))
+	for id := range base.BaselinesMs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	failed := false
+	fmt.Printf("%-5s %12s %12s %8s\n", "id", "ms/op", "limit", "verdict")
+	for _, id := range ids {
+		limit := base.BaselinesMs[id] * base.Threshold
+		path := filepath.Join(*dirFlag, "BENCH_"+id+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("%-5s %12s %12.1f %8s  (%v)\n", id, "-", limit, "MISSING", err)
+			failed = true
+			continue
+		}
+		var res benchResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			fmt.Printf("%-5s %12s %12.1f %8s  (%v)\n", id, "-", limit, "BAD", err)
+			failed = true
+			continue
+		}
+		verdict := "ok"
+		if res.MsPerOp > limit {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-5s %12.3f %12.1f %8s\n", id, res.MsPerOp, limit, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: benchmark regression over threshold (or missing results)")
+		os.Exit(1)
+	}
+}

@@ -9,19 +9,91 @@
 //	deepbench -csv -run E04        # machine-readable series
 //	deepbench -json -parallel 8    # full registry as JSON, 8 workers
 //	deepbench -seed 7 -scale 2     # reseeded, double-size workloads
+//	deepbench -fidelity flow       # flow-level fabric fast path
 //	deepbench -list                # show the registry
+//	deepbench -bench 5 -run E15    # wall-clock benchmark, best of 5
+//	deepbench -bench 3 -json       # benchmark all, write BENCH_<id>.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/deep"
 )
+
+// benchResult is the wire form of one BENCH_<id>.json file, consumed
+// by cmd/benchguard in CI to catch wall-clock regressions.
+type benchResult struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	Fidelity string  `json:"fidelity"`
+	Runs     int     `json:"runs"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	MsPerOp  float64 `json:"ms_per_op"`
+}
+
+// runBench times each experiment over reps repetitions (best-of) and
+// either prints a table or writes BENCH_<id>.json files into dir.
+func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, asJSON bool, dir string) error {
+	if len(ids) == 0 {
+		ids = deep.ExperimentIDs()
+	}
+	infos := map[string]deep.ExperimentInfo{}
+	for _, e := range deep.Experiments() {
+		infos[e.ID] = e
+	}
+	var results []benchResult
+	for _, id := range ids {
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := runner.Run(ctx, id); err != nil {
+				return fmt.Errorf("bench %s: %w", id, err)
+			}
+			if d := time.Since(start); r == 0 || d < best {
+				best = d
+			}
+		}
+		results = append(results, benchResult{
+			ID:       id,
+			Title:    infos[id].Title,
+			Fidelity: runner.Fidelity.String(),
+			Runs:     reps,
+			NsPerOp:  best.Nanoseconds(),
+			MsPerOp:  float64(best.Nanoseconds()) / 1e6,
+		})
+	}
+	if asJSON {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, res := range results {
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(dir, "BENCH_"+res.ID+".json")
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%.2f ms/op)\n", path, res.MsPerOp)
+		}
+		return nil
+	}
+	fmt.Printf("%-5s %-10s %5s %12s\n", "id", "fidelity", "runs", "ms/op")
+	for _, res := range results {
+		fmt.Printf("%-5s %-10s %5d %12.3f\n", res.ID, res.Fidelity, res.Runs, res.MsPerOp)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -32,8 +104,17 @@ func main() {
 		parallelFlag = flag.Int("parallel", 1, "number of experiments to run concurrently")
 		seedFlag     = flag.Uint64("seed", 0, "override the published seed of seeded experiments (0: keep)")
 		scaleFlag    = flag.Float64("scale", 1, "scale factor for experiment workload sizes")
+		fidelityFlag = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+		benchFlag    = flag.Int("bench", 0, "benchmark mode: time each experiment over N repetitions (best-of)")
+		benchDirFlag = flag.String("benchdir", ".", "directory for BENCH_<id>.json files in -bench -json mode")
 	)
 	flag.Parse()
+
+	fidelity, err := deep.ParseFidelity(*fidelityFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *listFlag {
 		for _, e := range deep.Experiments() {
@@ -60,7 +141,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag}
+	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity}
+
+	if *benchFlag > 0 {
+		if err := runBench(ctx, runner, ids, *benchFlag, *jsonFlag, *benchDirFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep, runErr := runner.Run(ctx, ids...)
 	if rep == nil {
 		fmt.Fprintf(os.Stderr, "deepbench: %v (try -list)\n", runErr)

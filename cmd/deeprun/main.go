@@ -31,8 +31,15 @@ func main() {
 		iters   = flag.Int("iters", 10, "iterations")
 		ranks   = flag.Int("ranks", 4, "MPI ranks")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		fidStr  = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
 	)
 	flag.Parse()
+
+	fid, err := deep.ParseFidelity(*fidStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
+		os.Exit(1)
+	}
 
 	var w deep.Workload
 	switch *app {
@@ -56,6 +63,7 @@ func main() {
 		deep.WithBoosterNodes(max(*ranks, 2)),
 		deep.WithClusterRanks(*ranks),
 		deep.WithSeed(*seed),
+		deep.WithFidelity(fid),
 	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)

@@ -32,6 +32,7 @@ func main() {
 		count    = flag.Int("count", 0, "message count for random pattern (default 4/node)")
 		errRate  = flag.Float64("error", 0, "per-packet link error probability")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		fidelity = flag.String("fidelity", "packet", "transfer model: packet | flow | auto")
 	)
 	flag.Parse()
 
@@ -58,12 +59,19 @@ func main() {
 	params.PacketErrorRate = *errRate
 	params.MaxRetries = 64
 
+	fid, err := fabric.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+		os.Exit(1)
+	}
+
 	eng := sim.New()
 	net, err := fabric.NewNetwork(eng, topo, params, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
 		os.Exit(1)
 	}
+	net.SetFidelity(fid)
 
 	var msgs []apps.Message
 	switch *pattern {
@@ -108,6 +116,15 @@ func main() {
 	tab.AddRow("retransmits", int(net.Stats.Retransmits))
 	tab.AddRow("drops", int(net.Stats.Drops))
 	tab.AddRow("max_link_util", net.MaxLinkUtilisation())
+	// Scheduler diagnostics: how hard the event kernel worked, and how
+	// much the flow fast path saved (see README "The event kernel").
+	st := eng.Stats()
+	tab.AddRow("flow_msgs", int(net.Stats.FlowMessages))
+	tab.AddRow("events_executed", int(st.Executed))
+	tab.AddRow("max_queue_depth", st.MaxQueueDepth)
+	if st.Allocs+st.Reused > 0 {
+		tab.AddRow("event_pool_hit", float64(st.Reused)/float64(st.Allocs+st.Reused))
+	}
 	if err := tab.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,152 @@
+package deep_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/deep"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// benchExperiment runs one registered experiment per iteration through
+// the public Runner and renders its table to io.Discard, so `go test
+// -bench` both times the full figure regeneration and exercises the
+// rendering path. Run cmd/deepbench -bench for wall-clock numbers.
+func benchExperiment(b *testing.B, id string, fid deep.Fidelity) {
+	b.Helper()
+	runner := &deep.Runner{Fidelity: fid}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(ctx, id)
+		if err != nil {
+			b.Fatalf("%s failed: %v", id, err)
+		}
+		tab := rep.Results[0].Table
+		if tab == nil || len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE01OffloadPath regenerates the accelerated-cluster vs
+// cluster-of-accelerators comparison (paper slides 6-8).
+func BenchmarkE01OffloadPath(b *testing.B) { benchExperiment(b, "E01", deep.DefaultFidelity) }
+
+// BenchmarkE02Assignment regenerates the static vs dynamic booster
+// assignment comparison (slide 8).
+func BenchmarkE02Assignment(b *testing.B) { benchExperiment(b, "E02", deep.DefaultFidelity) }
+
+// BenchmarkE03Pressure regenerates the communication-pressure-relief
+// figure (slide 10).
+func BenchmarkE03Pressure(b *testing.B) { benchExperiment(b, "E03", deep.DefaultFidelity) }
+
+// BenchmarkE04Scalability regenerates the application-scalability /
+// DEEP-positioning figure (slides 9, 18).
+func BenchmarkE04Scalability(b *testing.B) { benchExperiment(b, "E04", deep.DefaultFidelity) }
+
+// BenchmarkE05Spawn regenerates the MPI_Comm_spawn startup-latency
+// series (slides 21, 26-27).
+func BenchmarkE05Spawn(b *testing.B) { benchExperiment(b, "E05", deep.DefaultFidelity) }
+
+// BenchmarkE06Cholesky regenerates the OmpSs tiled-Cholesky dataflow
+// vs fork-join figure (slide 23).
+func BenchmarkE06Cholesky(b *testing.B) { benchExperiment(b, "E06", deep.DefaultFidelity) }
+
+// BenchmarkE07GlobalMPI regenerates the intra-fabric vs cross-gateway
+// communication figure (slides 24-29).
+func BenchmarkE07GlobalMPI(b *testing.B) { benchExperiment(b, "E07", deep.DefaultFidelity) }
+
+// BenchmarkE08VeloRMA regenerates the VELO vs RMA engine crossover
+// (slide 16).
+func BenchmarkE08VeloRMA(b *testing.B) { benchExperiment(b, "E08", deep.DefaultFidelity) }
+
+// BenchmarkE09Torus regenerates the 3D-torus latency/throughput series
+// (slide 16).
+func BenchmarkE09Torus(b *testing.B) { benchExperiment(b, "E09", deep.DefaultFidelity) }
+
+// BenchmarkE10RAS regenerates the CRC/link-level-retransmission figure
+// (slide 16).
+func BenchmarkE10RAS(b *testing.B) { benchExperiment(b, "E10", deep.DefaultFidelity) }
+
+// BenchmarkE11Energy regenerates the energy-efficiency positioning
+// (slides 3, 15).
+func BenchmarkE11Energy(b *testing.B) { benchExperiment(b, "E11", deep.DefaultFidelity) }
+
+// BenchmarkE12Scaling regenerates the technology-scaling trajectories
+// (slides 2-4).
+func BenchmarkE12Scaling(b *testing.B) { benchExperiment(b, "E12", deep.DefaultFidelity) }
+
+// BenchmarkE13Resilience regenerates the efficiency-vs-MTBF figure.
+func BenchmarkE13Resilience(b *testing.B) { benchExperiment(b, "E13", deep.DefaultFidelity) }
+
+// BenchmarkE14Checkpoint regenerates the checkpoint-interval sweep.
+func BenchmarkE14Checkpoint(b *testing.B) { benchExperiment(b, "E14", deep.DefaultFidelity) }
+
+// BenchmarkE15WeakScaling regenerates the 1k-100k booster weak-scaling
+// sweep at its default flow fidelity — the 100k-node headline run.
+func BenchmarkE15WeakScaling(b *testing.B) { benchExperiment(b, "E15", deep.DefaultFidelity) }
+
+// BenchmarkE09Fidelity contrasts the exact packet model with the
+// flow-level fast path on the loaded-torus experiment: same figure
+// regeneration, different transfer model.
+func BenchmarkE09Fidelity(b *testing.B) {
+	b.Run("packet", func(b *testing.B) { benchExperiment(b, "E09", deep.Packet) })
+	b.Run("flow", func(b *testing.B) { benchExperiment(b, "E09", deep.Flow) })
+}
+
+// BenchmarkE15Fidelity is the headline speedup: the 100k-booster sweep
+// under the exact packet model vs the flow fast path. The flow run is
+// what CI exercises; the packet run exists to quantify the gap.
+func BenchmarkE15Fidelity(b *testing.B) {
+	b.Run("flow", func(b *testing.B) { benchExperiment(b, "E15", deep.Flow) })
+	b.Run("packet", func(b *testing.B) { benchExperiment(b, "E15", deep.Packet) })
+}
+
+// BenchmarkKernelSchedulePop is the scheduler microbenchmark at the
+// SDK level: steady-state churn of a self-rescheduling population,
+// the shape of a busy fabric (see internal/sim for finer-grained
+// variants).
+func BenchmarkKernelSchedulePop(b *testing.B) {
+	eng := sim.New()
+	var pump func()
+	n := 0
+	pump = func() {
+		n++
+		if n < b.N {
+			eng.After(sim.Time(n%977+1)*sim.Nanosecond, pump)
+		}
+	}
+	b.ReportAllocs()
+	eng.After(sim.Nanosecond, pump)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkKernelTransfer contrasts one 64 KiB fabric transfer under
+// the packet and flow models, end to end.
+func BenchmarkKernelTransfer(b *testing.B) {
+	for _, fid := range []fabric.Fidelity{fabric.FidelityPacket, fabric.FidelityFlow} {
+		b.Run(fid.String(), func(b *testing.B) {
+			eng := sim.New()
+			net := fabric.MustNetwork(eng, topology.NewTorus3D(8, 8, 8), fabric.Extoll, 1)
+			net.SetFidelity(fid)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Send(topology.NodeID(i%512), topology.NodeID((i*7+3)%512), 64<<10,
+					func(sim.Time, error) {})
+				if i%512 == 511 {
+					eng.Run()
+				}
+			}
+			eng.Run()
+		})
+	}
+}

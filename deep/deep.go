@@ -32,7 +32,44 @@ import (
 	"fmt"
 
 	"repro/internal/cbp"
+	"repro/internal/fabric"
 )
+
+// Fidelity selects the fabric transfer model for simulated networks:
+// how literally the event-driven fabrics simulate each message.
+type Fidelity int
+
+// The fidelity levels WithFidelity and Runner.Fidelity accept.
+const (
+	// DefaultFidelity keeps every component's own default: the exact
+	// packet model everywhere except the E15 weak-scaling sweep, which
+	// defaults to Flow.
+	DefaultFidelity Fidelity = iota
+	// Packet simulates every packet of every message across every
+	// link of its route — exact, and the reference the golden tables
+	// are pinned to.
+	Packet
+	// Flow collapses each message into one flow-level completion event
+	// using per-link reservations: exact on uncontended routes,
+	// message-granular FIFO under contention, and the only way to
+	// simulate 100k-node machines in interactive time.
+	Flow
+	// Auto takes the flow path only when the result is provably
+	// identical to the packet model and falls back otherwise, so it is
+	// bit-compatible with Packet at a discount on request/response
+	// traffic.
+	Auto
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string { return fabric.Fidelity(f).String() }
+
+// ParseFidelity converts a flag value ("packet", "flow", "auto",
+// "default") into a Fidelity.
+func ParseFidelity(s string) (Fidelity, error) {
+	f, err := fabric.ParseFidelity(s)
+	return Fidelity(f), err
+}
 
 // Machine is an immutable description of one modelled DEEP system.
 // Build it with NewMachine; the zero value is not usable.
@@ -45,6 +82,7 @@ type Machine struct {
 	boosterWorkers int
 	seed           uint64
 	modelCompute   bool
+	fidelity       Fidelity
 	faults         *FaultPlan
 }
 
@@ -107,6 +145,11 @@ func WithSeed(seed uint64) Option { return func(m *Machine) { m.seed = seed } }
 // communication.
 func WithModelCompute() Option { return func(m *Machine) { m.modelCompute = true } }
 
+// WithFidelity selects the machine's fabric simulation fidelity:
+// Packet (exact, the default), Flow (flow-level fast path for
+// 100k-node scale), or Auto (flow only where provably exact).
+func WithFidelity(f Fidelity) Option { return func(m *Machine) { m.fidelity = f } }
+
 // WithFaultInjector attaches a fault plan to the machine; workloads
 // that schedule booster jobs (ScheduledJobs) run under it.
 func WithFaultInjector(p FaultPlan) Option {
@@ -164,6 +207,9 @@ func (m *Machine) BoosterWorkers() int { return m.boosterWorkers }
 
 // Seed returns the machine's base RNG seed.
 func (m *Machine) Seed() uint64 { return m.seed }
+
+// Fidelity returns the machine's fabric simulation fidelity.
+func (m *Machine) Fidelity() Fidelity { return m.fidelity }
 
 // String summarises the machine configuration.
 func (m *Machine) String() string {

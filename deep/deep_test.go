@@ -279,3 +279,53 @@ func TestRunnerSeedOverridePropagates(t *testing.T) {
 		t.Fatal("seed override did not change E02")
 	}
 }
+
+func TestFidelityOption(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithFidelity(deep.Flow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fidelity() != deep.Flow {
+		t.Fatalf("fidelity = %v", m.Fidelity())
+	}
+	def, _ := deep.NewMachine()
+	if def.Fidelity() != deep.DefaultFidelity {
+		t.Fatalf("default fidelity = %v", def.Fidelity())
+	}
+	for s, want := range map[string]deep.Fidelity{
+		"packet": deep.Packet, "flow": deep.Flow, "auto": deep.Auto, "default": deep.DefaultFidelity,
+	} {
+		got, err := deep.ParseFidelity(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFidelity(%q) = %v, %v", s, got, err)
+		}
+		if want != deep.DefaultFidelity && got.String() != s {
+			t.Fatalf("String() round trip: %q -> %q", s, got.String())
+		}
+	}
+	if _, err := deep.ParseFidelity("exact"); err == nil {
+		t.Fatal("ParseFidelity accepted an unknown level")
+	}
+}
+
+// TestRunnerAutoFidelityMatchesDefault: the auto fast path must not
+// change a single byte of any golden experiment's output.
+func TestRunnerAutoFidelityMatchesDefault(t *testing.T) {
+	ids := []string{"E01", "E04", "E12"}
+	render := func(r *deep.Runner) []byte {
+		rep, err := r.Run(context.Background(), ids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := (deep.TableSink{}).Write(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	def := render(&deep.Runner{})
+	auto := render(&deep.Runner{Fidelity: deep.Auto})
+	if !bytes.Equal(def, auto) {
+		t.Fatal("auto fidelity drifted from the default output")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/expt"
+	"repro/internal/fabric"
 	"repro/internal/stats"
 )
 
@@ -99,6 +100,9 @@ type Runner struct {
 	// Scale multiplies the workload size of experiments with a size
 	// axis; 0 or 1 keeps paper scale.
 	Scale float64
+	// Fidelity overrides the fabric transfer model of event-driven
+	// experiments; DefaultFidelity keeps each experiment's own choice.
+	Fidelity Fidelity
 }
 
 // Run executes the named experiments (all of them, in registry order,
@@ -118,7 +122,7 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		}
 		exps[i] = e
 	}
-	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale}
+	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity)}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}

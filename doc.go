@@ -18,6 +18,7 @@
 // See README.md for the architecture overview, the old-internal-API
 // to-deep migration table, and the system inventory; EXPERIMENTS.md
 // records paper-vs-measured for every registry entry. The benchmarks
-// in bench_test.go regenerate every figure via the internal/expt
-// registry the deep.Runner fronts.
+// in deep/bench_test.go regenerate every figure via the internal/expt
+// registry the deep.Runner fronts, at selectable fabric fidelity
+// (packet, flow, auto — see the deep package docs).
 package repro

@@ -1,0 +1,111 @@
+package cbp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks that any frame the protocol can express
+// survives Encode/Decode bit-exactly and consumes exactly its wire
+// length.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint32(0), uint32(0), uint32(1), []byte(nil))
+	f.Add(uint8(2), uint8(3), uint32(7), uint32(12), uint32(99), []byte("credit"))
+	f.Add(uint8(4), uint8(255), uint32(1<<31), uint32(1), uint32(2), bytes.Repeat([]byte{0xAB}, 512))
+	f.Fuzz(func(t *testing.T, typ, flags uint8, seq, src, dst uint32, payload []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := &Frame{
+			Type:    FrameType(typ),
+			Flags:   flags,
+			Seq:     seq,
+			Src:     src,
+			Dst:     dst,
+			Payload: payload,
+		}
+		buf, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode of encoded frame: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		if out.Type != in.Type || out.Flags != in.Flags || out.Seq != in.Seq ||
+			out.Src != in.Src || out.Dst != in.Dst || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+		}
+		// Trailing garbage must not change the decoded frame.
+		out2, n2, err := Decode(append(buf, 0xFF, 0x00, 0xDE))
+		if err != nil || n2 != n || out2.Seq != out.Seq || !bytes.Equal(out2.Payload, out.Payload) {
+			t.Fatalf("decode with trailing bytes diverged: %v", err)
+		}
+	})
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to Decode: it must never
+// panic, and anything it accepts must re-encode to the same bytes it
+// consumed (the CRC makes accepted-but-corrupt frames a bug by
+// definition).
+func FuzzFrameDecode(f *testing.F) {
+	good, _ := (&Frame{Type: FrameData, Seq: 5, Src: 1, Dst: 2, Payload: []byte("hi")}).Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xDE, 0xEB, 1, 1, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xDE}, 64))
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 1
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fr, n, err := Decode(buf)
+		if err != nil {
+			if fr != nil {
+				t.Fatal("error decode returned a frame")
+			}
+			return
+		}
+		if n < headerBytes || n > len(buf) {
+			t.Fatalf("consumed %d bytes of %d", n, len(buf))
+		}
+		re, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame: %v", err)
+		}
+		if !bytes.Equal(re, buf[:n]) {
+			t.Fatalf("re-encode differs from wire bytes:\n got  %x\n want %x", re, buf[:n])
+		}
+	})
+}
+
+// FuzzFragmentReassemble checks the fragmentation path: any payload
+// fragments into valid frames that reassemble to the original bytes.
+func FuzzFragmentReassemble(f *testing.F) {
+	f.Add(uint32(0), []byte(nil))
+	f.Add(uint32(41), []byte("hello booster"))
+	f.Add(uint32(1<<30), bytes.Repeat([]byte{7}, MaxPayload+3))
+	f.Fuzz(func(t *testing.T, seq0 uint32, payload []byte) {
+		if len(payload) > 4*MaxPayload {
+			payload = payload[:4*MaxPayload]
+		}
+		frames := Fragment(1, 2, seq0, payload)
+		got, err := Reassemble(frames)
+		if err != nil {
+			t.Fatalf("reassemble: %v", err)
+		}
+		if !bytes.Equal(got, payload) && !(len(got) == 0 && len(payload) == 0) {
+			t.Fatalf("reassembled %d bytes != original %d", len(got), len(payload))
+		}
+		for i, fr := range frames {
+			if fr.Type != FrameData || fr.Seq != seq0+uint32(i) {
+				t.Fatalf("frame %d malformed: %+v", i, fr)
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("frame %d payload %d over MaxPayload", i, len(fr.Payload))
+			}
+		}
+	})
+}

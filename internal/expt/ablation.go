@@ -125,6 +125,7 @@ func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		eng := sim.New()
 		tor := topology.NewTorus3D(4, 4, 1)
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
+		net.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
 		p := fabric.DefaultEngines()
 		p.EagerLimit = limit
 		nic := fabric.NewNIC(net, 0, p)
@@ -157,6 +158,8 @@ func runA04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		eng := sim.New()
 		cluster := fabric.MustNetwork(eng, topology.NewFatTree(4, 4, 4), fabric.InfiniBandFDR, 1)
 		booster := fabric.MustNetwork(eng, topology.NewTorus3D(4, 4, 2), fabric.Extoll, 2)
+		cluster.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
+		booster.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
 		gw := cbp.NewGateway(cluster, booster, 0, 0, 1500*sim.Nanosecond, 4*fabric.GB)
 		done := 0
 		for i := 0; i < k; i++ {

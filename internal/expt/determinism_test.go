@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// renderWith runs one experiment under cfg and returns the rendered
+// table bytes.
+func renderWith(t *testing.T, e Experiment, cfg *Config) []byte {
+	t.Helper()
+	tab, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("%s (%v): %v", e.ID, cfg.Fidelity, err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFidelityDeterminism is the regression gate for the flow fast
+// path: every registered experiment, run twice with the same seed
+// under both Packet and Auto fidelity, must produce byte-identical
+// tables. Same-fidelity equality checks determinism of the calendar
+// scheduler and the event models; Packet-vs-Auto equality checks the
+// Auto commit proof — a flow the fast path commits wrongly shifts a
+// virtual timestamp somewhere and shows up here.
+func TestFidelityDeterminism(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			if testing.Short() && e.ID == "E15" {
+				t.Skip("E15 packet-fidelity runs at 100k nodes; skipped in -short (race CI)")
+			}
+			packetCfg := func() *Config { return &Config{Scale: 1, Fidelity: fabric.FidelityPacket} }
+			autoCfg := func() *Config { return &Config{Scale: 1, Fidelity: fabric.FidelityAuto} }
+			packet1 := renderWith(t, e, packetCfg())
+			packet2 := renderWith(t, e, packetCfg())
+			if !bytes.Equal(packet1, packet2) {
+				t.Fatalf("%s not deterministic under packet fidelity:\n--- run1 ---\n%s\n--- run2 ---\n%s",
+					e.ID, packet1, packet2)
+			}
+			auto1 := renderWith(t, e, autoCfg())
+			auto2 := renderWith(t, e, autoCfg())
+			if !bytes.Equal(auto1, auto2) {
+				t.Fatalf("%s not deterministic under auto fidelity", e.ID)
+			}
+			if !bytes.Equal(packet1, auto1) {
+				t.Fatalf("%s diverges between packet and auto fidelity:\n--- packet ---\n%s\n--- auto ---\n%s",
+					e.ID, packet1, auto1)
+			}
+		})
+	}
+}
+
+// TestFlowFidelityRepeatable: Flow mode is an approximation, not a
+// different random process — two runs must agree byte-for-byte.
+func TestFlowFidelityRepeatable(t *testing.T) {
+	for _, id := range []string{"E09", "E15"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		cfg := func() *Config { return &Config{Scale: 1, Fidelity: fabric.FidelityFlow} }
+		run1 := renderWith(t, e, cfg())
+		run2 := renderWith(t, e, cfg())
+		if !bytes.Equal(run1, run2) {
+			t.Fatalf("%s not repeatable under flow fidelity", id)
+		}
+	}
+}
+
+// TestE15FlowMatchesPacket: E15's traffic is constructed so that no
+// two messages ever share a link queue; on uncontended routes the
+// flow model is exact, so even pure Flow fidelity must reproduce the
+// packet table bit-for-bit. This is what lets the 100k-node sweep
+// default to Flow without a fidelity asterisk.
+func TestE15FlowMatchesPacket(t *testing.T) {
+	e, ok := Get("E15")
+	if !ok {
+		t.Fatal("E15 not registered")
+	}
+	packet := renderWith(t, e, &Config{Scale: 1, Fidelity: fabric.FidelityPacket})
+	flow := renderWith(t, e, &Config{Scale: 1, Fidelity: fabric.FidelityFlow})
+	if !bytes.Equal(packet, flow) {
+		t.Fatalf("E15 flow diverges from packet:\n--- packet ---\n%s\n--- flow ---\n%s", packet, flow)
+	}
+}

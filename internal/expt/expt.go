@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fabric"
 	"repro/internal/stats"
 )
 
@@ -25,6 +26,11 @@ type Config struct {
 	// size axis (job counts, message counts). Values <= 0 or == 1 keep
 	// the paper scale.
 	Scale float64
+	// Fidelity overrides the fabric transfer model of event-driven
+	// experiments. FidelityDefault keeps each experiment's own choice
+	// (the exact packet model everywhere except E15, which defaults to
+	// the flow fast path to reach 100k nodes).
+	Fidelity fabric.Fidelity
 }
 
 // DefaultConfig returns the configuration that reproduces the
@@ -37,6 +43,15 @@ func (c *Config) seed(def uint64) uint64 {
 		return def
 	}
 	return c.Seed
+}
+
+// fidelity resolves the effective transfer model given an
+// experiment's default.
+func (c *Config) fidelity(def fabric.Fidelity) fabric.Fidelity {
+	if c == nil || c.Fidelity == fabric.FidelityDefault {
+		return def
+	}
+	return c.Fidelity
 }
 
 // scale resolves a workload size n under the configured scale factor,

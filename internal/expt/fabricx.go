@@ -15,10 +15,11 @@ import (
 // messages with minimal overhead ("zero-copy MPI"); RMA does bulk
 // transfers with a rendezvous handshake. We sweep message size and
 // locate the crossover.
-func engineTime(size int, useRMA bool) sim.Time {
+func engineTime(size int, useRMA bool, fid fabric.Fidelity) sim.Time {
 	eng := sim.New()
 	tor := topology.NewTorus3D(4, 4, 4)
 	net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
+	net.SetFidelity(fid)
 	nic := fabric.NewNIC(net, 0, fabric.DefaultEngines())
 	var at sim.Time
 	cb := func(a sim.Time, err error) { at = a }
@@ -32,6 +33,7 @@ func engineTime(size int, useRMA bool) sim.Time {
 }
 
 func runE08(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	fid := cfg.fidelity(fabric.FidelityPacket)
 	tab := stats.NewTable(
 		"E08 EXTOLL engines: VELO (eager) vs RMA (rendezvous)",
 		"bytes", "velo_us", "rma_us", "velo_GB/s", "rma_GB/s", "faster")
@@ -39,8 +41,8 @@ func runE08(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		velo := engineTime(size, false)
-		rma := engineTime(size, true)
+		velo := engineTime(size, false, fid)
+		rma := engineTime(size, true, fid)
 		faster := "velo"
 		if rma < velo {
 			faster = "rma"
@@ -67,6 +69,7 @@ func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		tor := topology.NewTorus3D(k, k, k)
 		eng := sim.New()
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
+		net.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
 		nbr := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(1, 0, 0), 64)
 		diam := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(k/2, k/2, k/2), 64)
 

@@ -32,10 +32,11 @@ func pcieTransferTime(size int, staged bool) sim.Time {
 
 // networkTransferTime measures one EXTOLL transfer between a booster
 // node and its gateway-adjacent neighbour over h hops.
-func networkTransferTime(size, hops int) sim.Time {
+func networkTransferTime(size, hops int, fid fabric.Fidelity) sim.Time {
 	eng := sim.New()
 	tor := topology.NewTorus3D(8, 1, 1)
 	net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
+	net.SetFidelity(fid)
 	nic := fabric.NewNIC(net, 0, fabric.DefaultEngines())
 	var at sim.Time
 	nic.Transfer(topology.NodeID(hops), size, func(a sim.Time, err error) { at = a })
@@ -59,7 +60,7 @@ func runE01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 			return nil, err
 		}
 		pcie := pcieTransferTime(size, true)
-		ext := networkTransferTime(size, 2)
+		ext := networkTransferTime(size, 2, cfg.fidelity(fabric.FidelityPacket))
 		winner := "extoll"
 		if pcie < ext {
 			winner = "pcie"
@@ -99,7 +100,7 @@ func runE03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 
 		// Booster-resident: one EXTOLL neighbour exchange, nothing
 		// crosses the CN boundary during iterations.
-		boosterTime := networkTransferTime(halo, 1)
+		boosterTime := networkTransferTime(halo, 1, cfg.fidelity(fabric.FidelityPacket))
 
 		tab.AddRow(halo/1024, hostTime.Micros(), boosterTime.Micros(),
 			2*halo, 0, float64(hostTime)/float64(boosterTime))

@@ -1,0 +1,183 @@
+package expt
+
+import (
+	"context"
+
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// E15: weak scaling of a booster-resident stencil code from 1k to 100k
+// Booster Nodes. The paper positions the Booster as the side of the
+// machine that scales to "huge node counts"; this experiment puts a
+// number on it with the event-driven fabric rather than the closed-form
+// efficiency model. Each round a node exchanges fixed-size halos with
+// its six torus neighbours (perfectly scalable: one message per link),
+// runs a fixed per-node kernel, and joins a dimension-ordered global
+// reduction whose critical path grows with the torus edge — the n^(1/3)
+// term that eats weak-scaling efficiency at 100k nodes.
+//
+// The sweep defaults to the flow-level fabric fidelity: per-message
+// completion events instead of per-packet chains, which is what makes
+// a 100k-node machine simulable in CI time. Packet and Auto fidelity
+// produce the identical table (the traffic is uncontended, where the
+// flow model is exact), just slower — the determinism regression test
+// relies on exactly that.
+
+// e15Edges are the torus edge lengths swept: k^3 nodes each, 1000 to
+// 103823 ("100k boosters").
+var e15Edges = []int{10, 16, 25, 40, 47}
+
+const (
+	e15HaloBytes   = 2048 // one MTU per neighbour exchange
+	e15ReduceBytes = 64   // one cache line of partial sums
+)
+
+// e15Kernel is the fixed per-node, per-round compute: a bandwidth-bound
+// stencil update sized so compute and the halo exchange overlap-free
+// round trip are of comparable magnitude.
+var e15Kernel = machine.Kernel{
+	Flops:            2e8,
+	Bytes:            1.2e8,
+	ParallelFraction: 0.999,
+	VectorEfficiency: 0.8,
+}
+
+// e15Halo injects the six-neighbour halo exchange of every node and
+// calls done when the last halo has been delivered.
+func e15Halo(net *fabric.Network, tor *topology.Torus3D, done func()) {
+	n := tor.Nodes()
+	latch := sim.NewLatch(6*n, done)
+	cb := func(sim.Time, error) { latch.Done() }
+	for id := 0; id < n; id++ {
+		src := topology.NodeID(id)
+		x, y, z := tor.Coord(src)
+		for _, nb := range [...]topology.NodeID{
+			tor.ID(x+1, y, z), tor.ID(x-1, y, z),
+			tor.ID(x, y+1, z), tor.ID(x, y-1, z),
+			tor.ID(x, y, z+1), tor.ID(x, y, z-1),
+		} {
+			net.Send(src, nb, e15HaloBytes, cb)
+		}
+	}
+}
+
+// e15Chain passes a partial sum down ring[i] -> ring[i-1] -> ... ->
+// ring[0], one message at a time, then releases the latch.
+func e15Chain(net *fabric.Network, ring []topology.NodeID, latch *sim.Latch) {
+	i := len(ring) - 1
+	var step func()
+	step = func() {
+		if i == 0 {
+			latch.Done()
+			return
+		}
+		from, to := ring[i], ring[i-1]
+		i--
+		net.Send(from, to, e15ReduceBytes, func(sim.Time, error) { step() })
+	}
+	step()
+}
+
+// e15Reduce runs the dimension-ordered global reduction to node
+// (0,0,0): every X ring chains to its x=0 node, the x=0 plane chains
+// along Y, the (0,0,*) line chains along Z. The critical path is
+// 3*(k-1) sequential neighbour messages — the diameter cost that
+// global synchronisation pays on a torus.
+func e15Reduce(net *fabric.Network, tor *topology.Torus3D, done func()) {
+	k := tor.X
+	ring := func(coord func(i int) topology.NodeID) []topology.NodeID {
+		r := make([]topology.NodeID, k)
+		for i := range r {
+			r[i] = coord(i)
+		}
+		return r
+	}
+	phaseZ := func() {
+		latch := sim.NewLatch(1, done)
+		e15Chain(net, ring(func(i int) topology.NodeID { return tor.ID(0, 0, i) }), latch)
+	}
+	phaseY := func() {
+		latch := sim.NewLatch(k, phaseZ)
+		for z := 0; z < k; z++ {
+			z := z
+			e15Chain(net, ring(func(i int) topology.NodeID { return tor.ID(0, i, z) }), latch)
+		}
+	}
+	latch := sim.NewLatch(k*k, phaseY)
+	for y := 0; y < k; y++ {
+		for z := 0; z < k; z++ {
+			y, z := y, z
+			e15Chain(net, ring(func(i int) topology.NodeID { return tor.ID(i, y, z) }), latch)
+		}
+	}
+}
+
+func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	fid := cfg.fidelity(fabric.FidelityFlow)
+	rounds := cfg.scale(1)
+	compute := machine.KNC.Time(e15Kernel, machine.KNC.Cores)
+	// The fidelity is deliberately absent from the table: Packet, Flow
+	// and Auto all produce these exact numbers (the traffic never
+	// queues two messages on one link, where the flow model is exact),
+	// and the determinism regression test holds them to it.
+	tab := stats.NewTable(
+		"E15 Weak scaling on the booster torus, 1k -> 100k nodes",
+		"torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")
+	var base sim.Time
+	for _, k := range e15Edges {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eng := sim.New()
+		net, tor := machine.BoosterFabric(eng, k, k, k, fid, 2013)
+		n := tor.Nodes()
+		sys := machine.BoosterSystem(n)
+
+		var haloT, reduceT, finish sim.Time
+		var round func(r int)
+		round = func(r int) {
+			if r == rounds {
+				finish = eng.Now()
+				return
+			}
+			start := eng.Now()
+			e15Halo(net, tor, func() {
+				haloT += eng.Now() - start
+				rstart := eng.Now()
+				e15Reduce(net, tor, func() {
+					reduceT += eng.Now() - rstart
+					eng.After(compute, func() { round(r + 1) })
+				})
+			})
+		}
+		round(0)
+		eng.Run()
+
+		perRound := finish / sim.Time(rounds)
+		if base == 0 {
+			base = perRound
+		}
+		tab.AddRow(tor.Name(), n, sys.PeakGFlops()/1000,
+			float64(perRound)/float64(sim.Millisecond),
+			(haloT / sim.Time(rounds)).Micros(),
+			(reduceT / sim.Time(rounds)).Micros(),
+			float64(base)/float64(perRound))
+	}
+	tab.AddNote("halo exchange is one message per link and stays flat at any scale (the booster's design point)")
+	tab.AddNote("the global reduction's 3(k-1)-hop critical path grows as n^(1/3): global sync, not halos, erodes weak scaling")
+	tab.AddNote("expected shape: weak_eff decays gently to ~100k nodes; round time stays in the same millisecond decade")
+	return tab, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "E15",
+		Title:    "Weak scaling to 100k boosters (flow-level fabric)",
+		PaperRef: "slides 9, 18 (scalability classes, positioning)",
+		Run:      runE15,
+	})
+}

@@ -1,0 +1,193 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Fidelity selects the transfer model a Network simulates.
+//
+// The packet model is the reference: every message is segmented and
+// every segment traverses every link of its route as its own chain of
+// events, contending per link. It is exact but costs O(segments x
+// hops) events per message, which caps experiments at a few thousand
+// nodes.
+//
+// The flow model collapses a whole message into a single completion
+// event using a per-link busy-until ledger. On an uncontended route
+// it reproduces the packet model's delivery time exactly (both reduce
+// to the same pipelined store-and-forward arithmetic); under
+// contention it approximates FIFO queueing at message granularity:
+// a later flow waits for the whole of an earlier one instead of
+// interleaving segment-by-segment.
+//
+// Auto uses the flow path only when it can prove the result identical
+// to the packet model: the route must be error-free and idle, and no
+// other simulation event may be pending before the flow would
+// complete — in a sequential discrete-event simulation nothing can
+// then disturb the transfer. Everything else falls back to the exact
+// packet model, so Auto is bit-identical to Packet by construction,
+// just cheaper on request/response traffic.
+type Fidelity int
+
+// The fidelity levels. The zero value resolves to the packet model so
+// that existing construction sites keep their exact behaviour.
+const (
+	FidelityDefault Fidelity = iota
+	FidelityPacket
+	FidelityFlow
+	FidelityAuto
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityDefault:
+		return "default"
+	case FidelityPacket:
+		return "packet"
+	case FidelityFlow:
+		return "flow"
+	case FidelityAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("fidelity-%d", int(f))
+	}
+}
+
+// ParseFidelity converts a flag value into a Fidelity.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "", "default":
+		return FidelityDefault, nil
+	case "packet":
+		return FidelityPacket, nil
+	case "flow":
+		return FidelityFlow, nil
+	case "auto":
+		return FidelityAuto, nil
+	default:
+		return 0, fmt.Errorf("fabric: unknown fidelity %q (want packet, flow or auto)", s)
+	}
+}
+
+// SetFidelity selects the transfer model. Call it before injecting
+// traffic; switching mid-run would let the two occupancy ledgers (link
+// resources vs flow reservations) miss each other.
+func (n *Network) SetFidelity(f Fidelity) {
+	n.fidelity = f
+	if f == FidelityFlow || f == FidelityAuto {
+		if n.flowFree == nil {
+			n.flowFree = make([]sim.Time, n.Topo.Links())
+			n.flowBusy = make([]sim.Time, n.Topo.Links())
+		}
+	}
+}
+
+// FidelityLevel returns the configured transfer model.
+func (n *Network) FidelityLevel() Fidelity { return n.fidelity }
+
+// flowPlan computes the flow-level trajectory of one message over
+// route at the current virtual time without committing it: the head
+// service start on each hop (after waiting out the link's flow
+// reservation), the per-link busy-until times, and the delivery time.
+// The arithmetic mirrors the packet model's pipelined store-and-
+// forward recurrence, so with idle links the two agree exactly.
+func (n *Network) flowPlan(route []topology.LinkID, segs []int) (starts []sim.Time, total sim.Time, delivery sim.Time) {
+	ser0 := n.P.serTime(segs[0])
+	for _, s := range segs {
+		total += n.P.serTime(s)
+	}
+	perHop := n.P.RouterDelay + n.P.LinkLatency
+	h := n.Eng.Now()
+	starts = n.flowStarts[:0]
+	for _, l := range route {
+		s := h
+		if free := n.flowFree[l]; free > s {
+			s = free
+		}
+		starts = append(starts, s)
+		h = s + ser0 + perHop
+	}
+	n.flowStarts = starts
+	delivery = starts[len(starts)-1] + total + perHop + n.P.RecvOverhead
+	return starts, total, delivery
+}
+
+// commitFlow books the planned trajectory: link reservations, the
+// same utilisation statistics the packet model records, and a single
+// typed completion event.
+func (n *Network) commitFlow(route []topology.LinkID, size int,
+	starts []sim.Time, total, delivery sim.Time, done func(at sim.Time, err error)) {
+	for k, l := range route {
+		n.flowFree[l] = starts[k] + total
+		n.flowBusy[l] += total
+	}
+	n.Stats.FlowMessages++
+	id := int64(len(n.flows))
+	n.flows = append(n.flows, flowDone{size: size, fn: done})
+	n.Eng.Schedule(delivery, (*flowCompleter)(n), id, 0)
+}
+
+// flowDone is one pending flow completion.
+type flowDone struct {
+	size int
+	fn   func(at sim.Time, err error)
+}
+
+// flowCompleter dispatches flow completion events without a closure
+// per message: the event argument indexes the pending-flow table.
+type flowCompleter Network
+
+// OnEvent implements sim.Handler.
+func (fc *flowCompleter) OnEvent(now sim.Time, id, _ int64) {
+	n := (*Network)(fc)
+	f := n.flows[id]
+	n.flows[id] = flowDone{}
+	n.flowsDone++
+	if n.flowsDone == len(n.flows) {
+		n.flows = n.flows[:0]
+		n.flowsDone = 0
+	}
+	n.Stats.BytesDelivered += uint64(f.size)
+	f.fn(now, nil)
+}
+
+// routeFaultFree reports whether the flow model may represent a
+// message over route at all: fault injection — a non-zero error rate
+// or a link outage — needs per-packet retry dynamics, so affected
+// messages always use the exact packet model. This is the cheap
+// pre-check run before any flow planning.
+func (n *Network) routeFaultFree(route []topology.LinkID) bool {
+	if n.P.PacketErrorRate > 0 {
+		return false
+	}
+	for _, l := range route {
+		if n.down[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// autoQuiescent is the Auto-fidelity non-interference proof for a
+// planned flow: the route must be completely idle (no packet-model
+// occupancy, no live flow reservation) and the engine's next pending
+// event must lie beyond the delivery time — nothing is left that
+// could interact with the transfer before it completes, so the flow
+// result is provably identical to the packet model's.
+func (n *Network) autoQuiescent(route []topology.LinkID, delivery sim.Time) bool {
+	now := n.Eng.Now()
+	for _, l := range route {
+		if n.flowFree[l] > now {
+			return false
+		}
+		if r := n.links[l]; r != nil && (r.Busy() || r.QueueLen() > 0) {
+			return false
+		}
+	}
+	next, ok := n.Eng.NextEventTime()
+	return !ok || next > delivery
+}

@@ -18,6 +18,9 @@ type Stats struct {
 	// LinkOutageHits counts packet traversals that found their link
 	// down (each burns a retransmission attempt).
 	LinkOutageHits uint64
+	// FlowMessages counts messages that took the flow-level fast path
+	// instead of the per-packet event chain (see Fidelity).
+	FlowMessages uint64
 }
 
 // Network simulates one fabric: a topology whose links are serializing
@@ -32,6 +35,16 @@ type Network struct {
 	down  []bool // per-link outage flag, driven by resil.Injector
 	src   *rng.Source
 	Stats Stats
+
+	// Flow fast-path state (see flow.go): the configured fidelity,
+	// the per-link reservation ledger, a scratch buffer for planned
+	// hop start times, and the pending flow-completion table.
+	fidelity   Fidelity
+	flowFree   []sim.Time
+	flowBusy   []sim.Time
+	flowStarts []sim.Time
+	flows      []flowDone
+	flowsDone  int
 }
 
 // NewNetwork builds a network over topo with parameters p. The seed
@@ -44,10 +57,25 @@ func NewNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) 
 	n := &Network{Eng: eng, Topo: topo, P: p, src: rng.New(seed)}
 	n.links = make([]*sim.Resource, topo.Links())
 	n.down = make([]bool, topo.Links())
-	for i := range n.links {
-		n.links[i] = sim.NewResource(eng, fmt.Sprintf("%s/link%d", topo.Name(), i))
-	}
 	return n, nil
+}
+
+// link returns the serialization resource of link l, created on first
+// use: a 100k-node torus has 600k links, and eagerly materialising a
+// named resource per link dominated network construction. Flow-path
+// traffic never touches them at all.
+func (n *Network) link(l topology.LinkID) *sim.Resource {
+	r := n.links[l]
+	if r == nil {
+		r = sim.NewResource(n.Eng, "")
+		n.links[l] = r
+	}
+	return r
+}
+
+// linkName renders a diagnostic name for link l on demand.
+func (n *Network) linkName(l topology.LinkID) string {
+	return fmt.Sprintf("%s/link%d", n.Topo.Name(), l)
 }
 
 // MustNetwork is NewNetwork that panics on invalid parameters; for
@@ -60,17 +88,33 @@ func MustNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64)
 	return n
 }
 
+// linkBusyTime returns the accumulated busy time of link l across
+// both occupancy ledgers: packet-model grants and flow reservations.
+func (n *Network) linkBusyTime(l topology.LinkID) sim.Time {
+	var t sim.Time
+	if r := n.links[l]; r != nil {
+		t += r.BusyTime
+	}
+	if n.flowBusy != nil {
+		t += n.flowBusy[l]
+	}
+	return t
+}
+
 // LinkUtilisation returns the busy fraction of link l.
 func (n *Network) LinkUtilisation(l topology.LinkID) float64 {
-	return n.links[l].Utilisation()
+	if n.Eng.Now() == 0 {
+		return 0
+	}
+	return float64(n.linkBusyTime(l)) / float64(n.Eng.Now())
 }
 
 // MaxLinkUtilisation returns the highest utilisation over all links,
 // the fabric's hot-spot measure.
 func (n *Network) MaxLinkUtilisation() float64 {
 	max := 0.0
-	for _, l := range n.links {
-		if u := l.Utilisation(); u > max {
+	for l := range n.links {
+		if u := n.LinkUtilisation(topology.LinkID(l)); u > max {
 			max = u
 		}
 	}
@@ -103,6 +147,26 @@ func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time
 	}
 	segs := n.segment(size)
 	n.Stats.Packets += uint64(len(segs))
+	n.Eng.After(n.P.SendOverhead, func() {
+		// The fidelity decision happens at injection time (after the
+		// send overhead), when the route and event-queue state that
+		// the Auto proof needs are current. Fault-affected routes are
+		// rejected before any planning work.
+		if (n.fidelity == FidelityFlow || n.fidelity == FidelityAuto) && n.routeFaultFree(route) {
+			starts, total, delivery := n.flowPlan(route, segs)
+			if n.fidelity == FidelityFlow || n.autoQuiescent(route, delivery) {
+				n.commitFlow(route, size, starts, total, delivery, done)
+				return
+			}
+		}
+		n.packetSend(route, segs, size, done)
+	})
+}
+
+// packetSend injects one message into the exact per-packet model:
+// every segment contends for every link of the route.
+func (n *Network) packetSend(route []topology.LinkID, segs []int, size int,
+	done func(at sim.Time, err error)) {
 	remaining := len(segs)
 	failed := false
 	finish := func(err error) {
@@ -119,11 +183,9 @@ func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time
 			})
 		}
 	}
-	n.Eng.After(n.P.SendOverhead, func() {
-		for _, s := range segs {
-			n.forward(route, 0, s, finish)
-		}
-	})
+	for _, s := range segs {
+		n.forward(route, 0, s, finish)
+	}
 }
 
 // segment splits size bytes into at most maxPackets segments of at
@@ -167,7 +229,7 @@ func (n *Network) forward(route []topology.LinkID, hop, bytes int, finish func(e
 }
 
 func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(error)) {
-	link := n.links[l]
+	link := n.link(l)
 	link.Acquire(n.P.serTime(bytes), func(_, _ sim.Time) {
 		n.Eng.After(n.P.RouterDelay+n.P.LinkLatency, func() {
 			corrupted := n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate)
@@ -183,7 +245,7 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 				n.Stats.Retransmits++
 				if attempt+1 >= n.P.maxRetries() {
 					done(fmt.Errorf("fabric: packet dropped after %d retries on %s",
-						attempt+1, link.Name()))
+						attempt+1, n.linkName(l)))
 					return
 				}
 				delay := n.P.RetransmitDelay

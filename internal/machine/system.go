@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // System is a whole-machine configuration: counts of each node class
@@ -175,6 +177,28 @@ func DEEPConfigs(clusterNodes, boosterNodes int) (cluster, booster, deep System)
 		BetaInvBandwidth: 1 / (5.0e9),
 	}
 	return
+}
+
+// BoosterSystem returns a booster-only System of n KNC nodes on the
+// EXTOLL fabric, the machine the weak-scaling experiments sweep.
+func BoosterSystem(n int) System {
+	return System{
+		Name:             fmt.Sprintf("booster-%d", n),
+		BoosterNodes:     n,
+		Booster:          KNC,
+		AlphaLatency:     0.85e-6,
+		BetaInvBandwidth: 1 / (4.6e9),
+	}
+}
+
+// BoosterFabric builds the event-driven EXTOLL torus of a booster
+// machine at the requested simulation fidelity: the packet model for
+// exact small-scale studies, the flow fast path for 100k-node sweeps.
+func BoosterFabric(eng *sim.Engine, x, y, z int, fid fabric.Fidelity, seed uint64) (*fabric.Network, *topology.Torus3D) {
+	tor := topology.NewTorus3D(x, y, z)
+	net := fabric.MustNetwork(eng, tor, fabric.Extoll, seed)
+	net.SetFidelity(fid)
+	return net, tor
 }
 
 // KernelTime is a convenience that evaluates k on the system's booster

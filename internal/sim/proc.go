@@ -13,8 +13,15 @@ type Resource struct {
 	eng  *Engine
 	name string
 	busy bool
-	// queue of pending acquisitions.
+	// queue of pending acquisitions; head indexes the next grant so
+	// dequeueing is O(1) (the slice is compacted when the dead prefix
+	// grows large).
 	waiters []waiter
+	head    int
+	// current grant, carried in fields rather than a closure so the
+	// completion event is a typed, allocation-free Handler event.
+	curStart, curEnd Time
+	curFn            func(start, end Time)
 	// BusyTime accumulates total time the resource was occupied, for
 	// utilisation statistics.
 	BusyTime Time
@@ -39,7 +46,7 @@ func (r *Resource) Name() string { return r.name }
 func (r *Resource) Busy() bool { return r.busy }
 
 // QueueLen returns the number of waiting requests.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 // Acquire requests the resource for the given service time. When the
 // request is granted and the service time has elapsed, done is invoked
@@ -56,24 +63,40 @@ func (r *Resource) Acquire(service Time, done func(start, end Time)) {
 }
 
 func (r *Resource) startNext() {
-	if len(r.waiters) == 0 {
+	if r.head == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.head = 0
 		r.busy = false
 		return
 	}
-	w := r.waiters[0]
-	copy(r.waiters, r.waiters[1:])
-	r.waiters = r.waiters[:len(r.waiters)-1]
+	w := r.waiters[r.head]
+	r.waiters[r.head] = waiter{}
+	r.head++
+	if r.head > 32 && r.head*2 > len(r.waiters) {
+		n := copy(r.waiters, r.waiters[r.head:])
+		r.waiters = r.waiters[:n]
+		r.head = 0
+	}
 	r.busy = true
 	start := r.eng.Now()
 	end := start + w.service
 	r.BusyTime += w.service
 	r.Grants++
-	r.eng.At(end, func() {
-		if w.fn != nil {
-			w.fn(start, end)
-		}
-		r.startNext()
-	})
+	r.curStart, r.curEnd, r.curFn = start, end, w.fn
+	r.eng.Schedule(end, r, 0, 0)
+}
+
+// OnEvent implements Handler: the current grant's service time has
+// elapsed. The grant callback runs first (it may Acquire again), then
+// the next waiter is started — the same order the closure-based
+// implementation used, so event sequences are unchanged.
+func (r *Resource) OnEvent(_ Time, _, _ int64) {
+	fn, start, end := r.curFn, r.curStart, r.curEnd
+	r.curFn = nil
+	if fn != nil {
+		fn(start, end)
+	}
+	r.startNext()
 }
 
 // Utilisation returns the fraction of [0, now] the resource was busy.

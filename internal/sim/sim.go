@@ -1,10 +1,13 @@
 // Package sim implements the discrete-event simulation kernel that
 // underlies the DEEP hardware models (fabrics, NICs, nodes).
 //
-// The kernel is a classic event-heap simulator: callbacks are scheduled
-// at absolute virtual times and executed in nondecreasing time order.
+// The kernel is a calendar-queue simulator: callbacks are scheduled at
+// absolute virtual times and executed in nondecreasing time order.
 // Ties are broken by schedule order (a monotonically increasing
-// sequence number), which makes every run fully deterministic.
+// sequence number), which makes every run fully deterministic. Events
+// are pooled through a free list, and hot models can schedule typed
+// Handler events instead of closures, so the steady-state event loop
+// allocates nothing.
 //
 // Virtual time is kept as integer picoseconds so that latencies in the
 // nanosecond range and bandwidths in the GB/s range can be combined
@@ -12,8 +15,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"sync"
 )
 
 // Time is a virtual time stamp in picoseconds since simulation start.
@@ -57,32 +61,61 @@ func (t Time) String() string {
 // the nearest picosecond.
 func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
 
-// event is a scheduled callback.
-type event struct {
+// Handler is the typed event callback: hot models implement it once
+// and carry per-event context in the two integer arguments, avoiding a
+// heap-allocated closure per event.
+type Handler interface {
+	// OnEvent runs at virtual time now with the arguments the event
+	// was scheduled with.
+	OnEvent(now Time, a0, a1 int64)
+}
+
+// Event is one scheduled occurrence. Events are owned by the engine's
+// free list; models hold only Tokens.
+type Event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	// Exactly one of fn (closure form) and h (typed form) is set.
+	fn     func()
+	h      Handler
+	a0, a1 int64
+
+	next      *Event // bucket chain
+	queued    bool
+	cancelled bool
+	used      bool // ever dispatched through the pool (for alloc stats)
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Token identifies a scheduled event for cancellation. The zero Token
+// is inert. Tokens remain safe to Cancel after the event has fired:
+// the sequence number check makes stale cancellations no-ops. (This
+// is also why the event free list is per-engine: a recycled Event can
+// only be re-issued by the same engine with a strictly larger
+// sequence number, so a stale Token can never alias a live event.)
+type Token struct {
+	ev  *Event
+	seq uint64
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Stats is a snapshot of the scheduler's counters.
+type Stats struct {
+	// Executed counts dispatched events; Scheduled counts every
+	// schedule call; Cancelled counts successful Cancel calls.
+	Executed  uint64
+	Scheduled uint64
+	Cancelled uint64
+	// MaxQueueDepth is the high-water mark of pending events.
+	MaxQueueDepth int
+	// Allocs counts events that came from the allocator, Reused those
+	// recycled through the free list: Reused/(Allocs+Reused) is the
+	// pool hit rate.
+	Allocs uint64
+	Reused uint64
+	// Buckets and BucketWidth describe the current calendar geometry;
+	// Resizes counts geometry adaptations.
+	Buckets     int
+	BucketWidth Time
+	Resizes     uint64
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
@@ -91,11 +124,20 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	cal     calendar
 	stopped bool
-	// Executed counts events that have run, for statistics and loop
-	// detection in tests.
-	executed uint64
+
+	executed  uint64
+	cancelled uint64
+	allocs    uint64
+	reused    uint64
+
+	// pool is the engine-local event free list. sync.Pool gives the
+	// GC license to reclaim idle events between runs; keeping one pool
+	// per engine (rather than a process-global one) guarantees events
+	// never migrate across engines, which the Token safety contract
+	// and the engine's single-threadedness rely on.
+	pool sync.Pool
 }
 
 // New returns an empty Engine at time zero.
@@ -108,17 +150,63 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.cal.count }
+
+// Stats returns the scheduler's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:      e.executed,
+		Scheduled:     e.seq,
+		Cancelled:     e.cancelled,
+		MaxQueueDepth: e.cal.maxDepth,
+		Allocs:        e.allocs,
+		Reused:        e.reused,
+		Buckets:       len(e.cal.buckets),
+		BucketWidth:   e.cal.width,
+		Resizes:       e.cal.resizes,
+	}
+}
+
+// schedule pulls an event from the free list and inserts it.
+func (e *Engine) schedule(t Time, fn func(), h Handler, a0, a1 int64) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if e.cal.recycle == nil {
+		e.pool.New = func() any { return new(Event) }
+		e.cal.recycle = func(ev *Event) {
+			ev.fn = nil
+			ev.h = nil
+			ev.next = nil
+			ev.queued = false
+			ev.cancelled = false
+			e.pool.Put(ev)
+		}
+	}
+	ev := e.pool.Get().(*Event)
+	if ev.used {
+		e.reused++
+	} else {
+		ev.used = true
+		e.allocs++
+	}
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.h = h
+	ev.a0, ev.a1 = a0, a1
+	ev.queued = true
+	ev.cancelled = false
+	e.cal.insert(ev, e.now)
+	return ev
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering
 // events would destroy causality.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.schedule(t, fn, nil, 0, 0)
 }
 
 // After schedules fn to run d after the current time.
@@ -129,19 +217,76 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// Schedule is the typed, allocation-free form of At: h.OnEvent(t, a0,
+// a1) runs at absolute time t. The returned Token cancels it.
+func (e *Engine) Schedule(t Time, h Handler, a0, a1 int64) Token {
+	ev := e.schedule(t, nil, h, a0, a1)
+	return Token{ev: ev, seq: ev.seq}
+}
+
+// ScheduleAfter is Schedule relative to the current time.
+func (e *Engine) ScheduleAfter(d Time, h Handler, a0, a1 int64) Token {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, h, a0, a1)
+}
+
+// Cancel revokes a scheduled event. It reports whether the event was
+// still pending; cancelling an already-fired or already-cancelled
+// event is a safe no-op.
+func (e *Engine) Cancel(tok Token) bool {
+	ev := tok.ev
+	if ev == nil || !ev.queued || ev.cancelled || ev.seq != tok.seq {
+		return false
+	}
+	ev.cancelled = true
+	e.cal.count--
+	e.cancelled++
+	if e.cal.nodes > 2*e.cal.count+64 {
+		e.cal.sweep()
+	}
+	return true
+}
+
+// NextEventTime returns the virtual time of the next pending event.
+// The fabric's flow fast path uses it to prove that a transfer cannot
+// be disturbed before it completes.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.cal.popMin(math.MaxInt64, false)
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // Stop makes Run return after the current event completes. Pending
 // events stay queued; Run can be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch runs one popped event and recycles it.
+func (e *Engine) dispatch(ev *Event) {
+	fn, h, a0, a1, t := ev.fn, ev.h, ev.a0, ev.a1, ev.at
+	e.cal.recycle(ev)
+	if fn != nil {
+		fn()
+	} else if h != nil {
+		h.OnEvent(t, a0, a1)
+	}
+}
 
 // Run executes events until the queue is empty or Stop is called.
 // It returns the final virtual time.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
+	for !e.stopped {
+		ev := e.cal.popMin(math.MaxInt64, true)
+		if ev == nil {
+			break
+		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		e.dispatch(ev)
 	}
 	return e.now
 }
@@ -151,11 +296,14 @@ func (e *Engine) Run() Time {
 // periodic models can be stepped at a fixed cadence.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
+	for !e.stopped {
+		ev := e.cal.popMin(deadline, true)
+		if ev == nil {
+			break
+		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		e.dispatch(ev)
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline

@@ -19,6 +19,9 @@ type FatTree struct {
 	NodesPerLeaf int
 	Leaves       int
 	Spines       int
+
+	// name memoizes Name(); see Torus3D.
+	name string
 }
 
 // NewFatTree builds a fat tree with the given shape. A Spines count
@@ -28,12 +31,18 @@ func NewFatTree(nodesPerLeaf, leaves, spines int) *FatTree {
 	if nodesPerLeaf < 1 || leaves < 1 || spines < 1 {
 		panic(fmt.Sprintf("topology: invalid fat tree %d/%d/%d", nodesPerLeaf, leaves, spines))
 	}
-	return &FatTree{NodesPerLeaf: nodesPerLeaf, Leaves: leaves, Spines: spines}
+	return &FatTree{
+		NodesPerLeaf: nodesPerLeaf, Leaves: leaves, Spines: spines,
+		name: fmt.Sprintf("fattree-%dx%d-s%d", nodesPerLeaf, leaves, spines),
+	}
 }
 
 // Name implements Topology.
 func (f *FatTree) Name() string {
-	return fmt.Sprintf("fattree-%dx%d-s%d", f.NodesPerLeaf, f.Leaves, f.Spines)
+	if f.name == "" {
+		f.name = fmt.Sprintf("fattree-%dx%d-s%d", f.NodesPerLeaf, f.Leaves, f.Spines)
+	}
+	return f.name
 }
 
 // Nodes implements Topology.
@@ -83,12 +92,29 @@ func (f *FatTree) Route(src, dst NodeID) []LinkID {
 	}
 }
 
+// Hops implements HopCounter: 2 links within a leaf, 4 across spines.
+func (f *FatTree) Hops(src, dst NodeID) int {
+	validateNode(src, f.Nodes(), f.Name())
+	validateNode(dst, f.Nodes(), f.Name())
+	switch {
+	case src == dst:
+		return 0
+	case f.Leaf(src) == f.Leaf(dst):
+		return 2
+	default:
+		return 4
+	}
+}
+
 // Crossbar is a single non-blocking switch: every pair of nodes is two
 // hops apart (in via the source port, out via the destination port).
 // It models a PCIe switch / host bus fanout where the shared medium is
 // captured at the fabric layer by the port links themselves.
 type Crossbar struct {
 	N int
+
+	// name memoizes Name(); see Torus3D.
+	name string
 }
 
 // NewCrossbar returns an n-port crossbar.
@@ -96,11 +122,16 @@ func NewCrossbar(n int) *Crossbar {
 	if n < 1 {
 		panic(fmt.Sprintf("topology: invalid crossbar size %d", n))
 	}
-	return &Crossbar{N: n}
+	return &Crossbar{N: n, name: fmt.Sprintf("crossbar-%d", n)}
 }
 
 // Name implements Topology.
-func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar-%d", c.N) }
+func (c *Crossbar) Name() string {
+	if c.name == "" {
+		c.name = fmt.Sprintf("crossbar-%d", c.N)
+	}
+	return c.name
+}
 
 // Nodes implements Topology.
 func (c *Crossbar) Nodes() int { return c.N }
@@ -117,4 +148,14 @@ func (c *Crossbar) Route(src, dst NodeID) []LinkID {
 		return nil
 	}
 	return []LinkID{LinkID(2 * int(src)), LinkID(2*int(dst) + 1)}
+}
+
+// Hops implements HopCounter.
+func (c *Crossbar) Hops(src, dst NodeID) int {
+	validateNode(src, c.N, c.Name())
+	validateNode(dst, c.N, c.Name())
+	if src == dst {
+		return 0
+	}
+	return 2
 }

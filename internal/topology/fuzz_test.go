@@ -1,0 +1,117 @@
+package topology
+
+import "testing"
+
+// FuzzTorusRoute checks the torus routing invariants for arbitrary
+// shapes and endpoints: every route stays in bounds, walks the fabric
+// link-by-link from src to dst, respects dimension order (all X moves,
+// then Y, then Z, each dimension in one direction), and agrees with
+// the allocation-free hop counter.
+func FuzzTorusRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(4), uint16(0), uint16(63))
+	f.Add(uint8(1), uint8(1), uint8(1), uint16(0), uint16(0))
+	f.Add(uint8(2), uint8(3), uint8(5), uint16(7), uint16(29))
+	f.Add(uint8(8), uint8(1), uint8(1), uint16(0), uint16(4))
+	f.Add(uint8(3), uint8(3), uint8(3), uint16(26), uint16(0))
+	f.Fuzz(func(t *testing.T, x, y, z uint8, srcRaw, dstRaw uint16) {
+		tor := NewTorus3D(int(x%8)+1, int(y%8)+1, int(z%8)+1)
+		n := tor.Nodes()
+		src := NodeID(int(srcRaw) % n)
+		dst := NodeID(int(dstRaw) % n)
+		route := tor.Route(src, dst)
+		if src == dst && len(route) != 0 {
+			t.Fatalf("loopback route not empty: %v", route)
+		}
+		if got, want := len(route), tor.Hops(src, dst); got != want {
+			t.Fatalf("route length %d != hops %d", got, want)
+		}
+		cur := src
+		lastClass := -1
+		dimDir := map[int]int{}
+		for i, l := range route {
+			if int(l) < 0 || int(l) >= tor.Links() {
+				t.Fatalf("link %d out of bounds [0,%d)", l, tor.Links())
+			}
+			from, to := tor.LinkEndpoints(l)
+			if from != cur {
+				t.Fatalf("hop %d starts at %d, expected %d", i, from, cur)
+			}
+			dir := int(l) % 6
+			class := dir / 2 // 0=X, 1=Y, 2=Z
+			if class < lastClass {
+				t.Fatalf("hop %d violates dimension order: class %d after %d", i, class, lastClass)
+			}
+			if prev, ok := dimDir[class]; ok && prev != dir {
+				t.Fatalf("hop %d reverses direction within dimension %d", i, class)
+			}
+			dimDir[class] = dir
+			lastClass = class
+			cur = to
+		}
+		if cur != dst {
+			t.Fatalf("route ends at %d, want %d", cur, dst)
+		}
+	})
+}
+
+// FuzzFatTreeRoute checks the fat-tree routing invariants: routes are
+// in bounds, have the up/down shape (2 links within a leaf, 4 across
+// spines), traverse distinct links, and agree with the hop counter.
+func FuzzFatTreeRoute(f *testing.F) {
+	f.Add(uint8(16), uint8(2), uint8(8), uint16(0), uint16(17))
+	f.Add(uint8(1), uint8(1), uint8(1), uint16(0), uint16(0))
+	f.Add(uint8(4), uint8(4), uint8(2), uint16(3), uint16(5))
+	f.Fuzz(func(t *testing.T, nplRaw, leavesRaw, spinesRaw uint8, srcRaw, dstRaw uint16) {
+		ft := NewFatTree(int(nplRaw%16)+1, int(leavesRaw%8)+1, int(spinesRaw%8)+1)
+		n := ft.Nodes()
+		src := NodeID(int(srcRaw) % n)
+		dst := NodeID(int(dstRaw) % n)
+		route := ft.Route(src, dst)
+		if got, want := len(route), ft.Hops(src, dst); got != want {
+			t.Fatalf("route length %d != hops %d", got, want)
+		}
+		seen := map[LinkID]bool{}
+		for _, l := range route {
+			if int(l) < 0 || int(l) >= ft.Links() {
+				t.Fatalf("link %d out of bounds [0,%d)", l, ft.Links())
+			}
+			if seen[l] {
+				t.Fatalf("route repeats link %d: %v", l, route)
+			}
+			seen[l] = true
+		}
+		switch {
+		case src == dst:
+			if len(route) != 0 {
+				t.Fatalf("loopback route not empty: %v", route)
+			}
+		case ft.Leaf(src) == ft.Leaf(dst):
+			if len(route) != 2 {
+				t.Fatalf("intra-leaf route has %d links", len(route))
+			}
+			if route[0] != LinkID(2*int(src)) || route[1] != LinkID(2*int(dst)+1) {
+				t.Fatalf("intra-leaf route malformed: %v", route)
+			}
+		default:
+			if len(route) != 4 {
+				t.Fatalf("cross-leaf route has %d links", len(route))
+			}
+			if route[0] != LinkID(2*int(src)) || route[3] != LinkID(2*int(dst)+1) {
+				t.Fatalf("cross-leaf route endpoints malformed: %v", route)
+			}
+			// The middle links must traverse one spine: an up link from
+			// the source leaf and a down link into the destination leaf,
+			// both via the same spine switch.
+			base := 2 * ft.Nodes()
+			up, down := int(route[1])-base, int(route[2])-base
+			if up < 0 || up%2 != 0 || down < 1 || down%2 != 1 {
+				t.Fatalf("spine links malformed: %v", route)
+			}
+			upLeaf, upSpine := up/2/ft.Spines, up/2%ft.Spines
+			downLeaf, downSpine := (down-1)/2/ft.Spines, (down-1)/2%ft.Spines
+			if upLeaf != ft.Leaf(src) || downLeaf != ft.Leaf(dst) || upSpine != downSpine {
+				t.Fatalf("spine traversal mismatched: %v", route)
+			}
+		}
+	})
+}

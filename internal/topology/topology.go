@@ -29,8 +29,21 @@ type Topology interface {
 	Name() string
 }
 
+// HopCounter is implemented by topologies that can count route hops
+// without materializing the route. Cost-model transports (cbp, mpi)
+// query hop counts once per message, so the allocation-free path
+// matters at scale.
+type HopCounter interface {
+	Hops(src, dst NodeID) int
+}
+
 // Hops returns the number of links on the route from src to dst.
-func Hops(t Topology, src, dst NodeID) int { return len(t.Route(src, dst)) }
+func Hops(t Topology, src, dst NodeID) int {
+	if hc, ok := t.(HopCounter); ok {
+		return hc.Hops(src, dst)
+	}
+	return len(t.Route(src, dst))
+}
 
 // Diameter returns the maximum hop count over all node pairs. It is
 // O(n^2 * route) and intended for tests and small analysis runs.

@@ -8,6 +8,10 @@ import "fmt"
 // that order, so link IDs are node*6 + direction.
 type Torus3D struct {
 	X, Y, Z int
+
+	// name memoizes Name(): the routing validators pass it on every
+	// call, and rendering it each time dominated 100k-node sweeps.
+	name string
 }
 
 // Direction indices for a node's six torus links.
@@ -26,11 +30,16 @@ func NewTorus3D(x, y, z int) *Torus3D {
 	if x < 1 || y < 1 || z < 1 {
 		panic(fmt.Sprintf("topology: invalid torus %dx%dx%d", x, y, z))
 	}
-	return &Torus3D{X: x, Y: y, Z: z}
+	return &Torus3D{X: x, Y: y, Z: z, name: fmt.Sprintf("torus3d-%dx%dx%d", x, y, z)}
 }
 
 // Name implements Topology.
-func (t *Torus3D) Name() string { return fmt.Sprintf("torus3d-%dx%dx%d", t.X, t.Y, t.Z) }
+func (t *Torus3D) Name() string {
+	if t.name == "" {
+		t.name = fmt.Sprintf("torus3d-%dx%dx%d", t.X, t.Y, t.Z)
+	}
+	return t.name
+}
 
 // Nodes implements Topology.
 func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
@@ -114,6 +123,24 @@ func (t *Torus3D) Route(src, dst NodeID) []LinkID {
 	walk(&cy, dy, t.Y, DirYPlus, DirYMinus, func() NodeID { return t.ID(cx, cy, cz) })
 	walk(&cz, dz, t.Z, DirZPlus, DirZMinus, func() NodeID { return t.ID(cx, cy, cz) })
 	return route
+}
+
+// Hops implements HopCounter: the dimension-ordered route length is
+// the sum of the per-dimension shortest ring distances, computed
+// without materializing the route.
+func (t *Torus3D) Hops(src, dst NodeID) int {
+	validateNode(src, t.Nodes(), t.Name())
+	validateNode(dst, t.Nodes(), t.Name())
+	sx, sy, sz := t.Coord(src)
+	dx, dy, dz := t.Coord(dst)
+	return absStep(step(sx, dx, t.X)) + absStep(step(sy, dy, t.Y)) + absStep(step(sz, dz, t.Z))
+}
+
+func absStep(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
 }
 
 // LinkEndpoints returns the (from, to) nodes of link l, for diagnostics
