@@ -9,7 +9,12 @@
 // accidentally quadratic bucket scan, a lost fast path — not to police
 // single-digit percentages.
 //
-//	go run ./cmd/deepbench -bench 3 -json -run E01,E04,E08,E12,E15
+// Energy totals are gated too: experiments that publish a joules
+// summary (E16) are compared against baselines_j within a tight
+// relative band — the simulated joules are deterministic, so any
+// drift is a model change, not noise.
+//
+//	go run ./cmd/deepbench -bench 3 -json -energy -run E01,E04,E08,E12,E15,E16
 //	go run ./cmd/benchguard
 package main
 
@@ -17,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,6 +35,15 @@ type baseline struct {
 	// BaselinesMs maps experiment ID to the reference wall-clock
 	// milliseconds per regeneration.
 	BaselinesMs map[string]float64 `json:"baselines_ms"`
+	// JoulesTolerance is the allowed relative deviation of an
+	// experiment's energy total from its baseline. Unlike wall-clock,
+	// the simulated joules are deterministic, so the band is tight: it
+	// exists to catch accidental model drift (a lost charge path, a
+	// double-counted transition), not machine noise.
+	JoulesTolerance float64 `json:"joules_tolerance"`
+	// BaselinesJ maps experiment ID to the reference energy total in
+	// joules, as deepbench -bench -json -energy records it.
+	BaselinesJ map[string]float64 `json:"baselines_j"`
 }
 
 // benchResult mirrors cmd/deepbench's BENCH_<id>.json schema.
@@ -36,6 +51,7 @@ type benchResult struct {
 	ID      string  `json:"id"`
 	Runs    int     `json:"runs"`
 	MsPerOp float64 `json:"ms_per_op"`
+	Joules  float64 `json:"joules"`
 }
 
 func main() {
@@ -67,6 +83,7 @@ func main() {
 	sort.Strings(ids)
 
 	failed := false
+	results := map[string]*benchResult{}
 	fmt.Printf("%-5s %12s %12s %8s\n", "id", "ms/op", "limit", "verdict")
 	for _, id := range ids {
 		limit := base.BaselinesMs[id] * base.Threshold
@@ -83,12 +100,41 @@ func main() {
 			failed = true
 			continue
 		}
+		results[id] = &res
 		verdict := "ok"
 		if res.MsPerOp > limit {
 			verdict = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-5s %12.3f %12.1f %8s\n", id, res.MsPerOp, limit, verdict)
+	}
+	if len(base.BaselinesJ) > 0 {
+		tol := base.JoulesTolerance
+		if tol <= 0 {
+			tol = 0.02
+		}
+		eids := make([]string, 0, len(base.BaselinesJ))
+		for id := range base.BaselinesJ {
+			eids = append(eids, id)
+		}
+		sort.Strings(eids)
+		fmt.Printf("\n%-5s %14s %14s %8s %8s\n", "id", "joules", "baseline_j", "band", "verdict")
+		for _, id := range eids {
+			want := base.BaselinesJ[id]
+			res := results[id]
+			if res == nil || res.Joules == 0 {
+				fmt.Printf("%-5s %14s %14.1f %8.2f %8s  (run deepbench -bench -json -energy)\n",
+					id, "-", want, tol, "MISSING")
+				failed = true
+				continue
+			}
+			verdict := "ok"
+			if dev := math.Abs(res.Joules-want) / want; dev > tol {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-5s %14.1f %14.1f %8.2f %8s\n", id, res.Joules, want, tol, verdict)
+		}
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchguard: benchmark regression over threshold (or missing results)")

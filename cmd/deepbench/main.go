@@ -10,6 +10,7 @@
 //	deepbench -json -parallel 8    # full registry as JSON, 8 workers
 //	deepbench -seed 7 -scale 2     # reseeded, double-size workloads
 //	deepbench -fidelity flow       # flow-level fabric fast path
+//	deepbench -energy -run E15     # joules / GFlop/W columns
 //	deepbench -list                # show the registry
 //	deepbench -bench 5 -run E15    # wall-clock benchmark, best of 5
 //	deepbench -bench 3 -json       # benchmark all, write BENCH_<id>.json
@@ -30,7 +31,10 @@ import (
 )
 
 // benchResult is the wire form of one BENCH_<id>.json file, consumed
-// by cmd/benchguard in CI to catch wall-clock regressions.
+// by cmd/benchguard in CI to catch wall-clock regressions. Joules is
+// the experiment's machine-readable energy total (non-zero only for
+// experiments that publish one, e.g. E16) so energy regressions gate
+// CI like time regressions do.
 type benchResult struct {
 	ID       string  `json:"id"`
 	Title    string  `json:"title"`
@@ -38,6 +42,7 @@ type benchResult struct {
 	Runs     int     `json:"runs"`
 	NsPerOp  int64   `json:"ns_per_op"`
 	MsPerOp  float64 `json:"ms_per_op"`
+	Joules   float64 `json:"joules,omitempty"`
 }
 
 // runBench times each experiment over reps repetitions (best-of) and
@@ -53,13 +58,18 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 	var results []benchResult
 	for _, id := range ids {
 		best := time.Duration(0)
+		var joules float64
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			if _, err := runner.Run(ctx, id); err != nil {
+			rep, err := runner.Run(ctx, id)
+			if err != nil {
 				return fmt.Errorf("bench %s: %w", id, err)
 			}
 			if d := time.Since(start); r == 0 || d < best {
 				best = d
+			}
+			if t := rep.Results[0].Table; t != nil {
+				joules = t.Summary["joules"]
 			}
 		}
 		results = append(results, benchResult{
@@ -69,6 +79,7 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 			Runs:     reps,
 			NsPerOp:  best.Nanoseconds(),
 			MsPerOp:  float64(best.Nanoseconds()) / 1e6,
+			Joules:   joules,
 		})
 	}
 	if asJSON {
@@ -105,6 +116,7 @@ func main() {
 		seedFlag     = flag.Uint64("seed", 0, "override the published seed of seeded experiments (0: keep)")
 		scaleFlag    = flag.Float64("scale", 1, "scale factor for experiment workload sizes")
 		fidelityFlag = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+		energyFlag   = flag.Bool("energy", false, "append joules / GFlop/W columns to every experiment (event-driven energy recorder)")
 		benchFlag    = flag.Int("bench", 0, "benchmark mode: time each experiment over N repetitions (best-of)")
 		benchDirFlag = flag.String("benchdir", ".", "directory for BENCH_<id>.json files in -bench -json mode")
 	)
@@ -141,7 +153,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity}
+	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity, Energy: *energyFlag}
 
 	if *benchFlag > 0 {
 		if err := runBench(ctx, runner, ids, *benchFlag, *jsonFlag, *benchDirFlag); err != nil {

@@ -8,6 +8,7 @@
 //	deeprun -app spmv -nx 32 -ny 32 -iters 10 -ranks 4
 //	deeprun -app stencil -nx 64 -ny 64 -iters 20 -ranks 8
 //	deeprun -app nbody -n 64 -iters 10 -ranks 4
+//	deeprun -app spmv -ranks 4 -energy
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		ranks   = flag.Int("ranks", 4, "MPI ranks")
 		seed    = flag.Uint64("seed", 42, "random seed")
 		fidStr  = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+		energy  = flag.Bool("energy", false, "report energy to solution (joules, per-group breakdown)")
 	)
 	flag.Parse()
 
@@ -58,13 +60,17 @@ func main() {
 
 	// The machine sizes each fabric to hold one rank per node, like
 	// the original hand-wired runs did.
-	m, err := deep.NewMachine(
+	opts := []deep.Option{
 		deep.WithClusterNodes(max(*ranks, 2)),
 		deep.WithBoosterNodes(max(*ranks, 2)),
 		deep.WithClusterRanks(*ranks),
 		deep.WithSeed(*seed),
 		deep.WithFidelity(fid),
-	)
+	}
+	if *energy {
+		opts = append(opts, deep.WithEnergyMetering())
+	}
+	m, err := deep.NewMachine(opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
 		os.Exit(1)

@@ -33,6 +33,8 @@ import (
 
 	"repro/internal/cbp"
 	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // Fidelity selects the fabric transfer model for simulated networks:
@@ -84,6 +86,44 @@ type Machine struct {
 	modelCompute   bool
 	fidelity       Fidelity
 	faults         *FaultPlan
+	energy         bool
+	powerGate      bool
+	wakeSeconds    float64
+	clusterPower   *PowerModel
+	boosterPower   *PowerModel
+}
+
+// PowerModel overrides a node class's electrical parameters. Zero
+// fields keep the built-in period-plausible value of the underlying
+// node model (Xeon for the cluster side, KNC for the booster side).
+type PowerModel struct {
+	// SleepWatts, IdleWatts and PeakWatts bound the node's draw in the
+	// three power states (sleep <= idle <= peak).
+	SleepWatts float64
+	IdleWatts  float64
+	PeakWatts  float64
+	// WakeLatency is the sleep -> busy transition time in seconds —
+	// what a power-gated booster pays before it can compute.
+	WakeLatency float64
+}
+
+// apply overlays the non-zero fields onto a node model.
+func (p *PowerModel) apply(m *machine.NodeModel) {
+	if p == nil {
+		return
+	}
+	if p.SleepWatts > 0 {
+		m.SleepWatts = p.SleepWatts
+	}
+	if p.IdleWatts > 0 {
+		m.IdleWatts = p.IdleWatts
+	}
+	if p.PeakWatts > 0 {
+		m.PeakWatts = p.PeakWatts
+	}
+	if p.WakeLatency > 0 {
+		m.WakeLatency = sim.FromSeconds(p.WakeLatency)
+	}
 }
 
 // FaultPlan configures the machine's fault injector: booster nodes
@@ -156,6 +196,34 @@ func WithFaultInjector(p FaultPlan) Option {
 	return func(m *Machine) { cp := p; m.faults = &cp }
 }
 
+// WithEnergyMetering makes every workload run publish power/energy
+// telemetry and fill Result.Energy: node power states integrate over
+// the virtual clock, fabrics charge per-byte transfer energy and the
+// resilience layer charges checkpoint I/O. Off by default — unmetered
+// results are byte-identical to previous releases.
+func WithEnergyMetering() Option { return func(m *Machine) { m.energy = true } }
+
+// WithPowerGating power-gates idle boosters: free booster nodes drop
+// to the sleep state and a job allocated onto sleeping nodes pays the
+// wake latency before compute starts. wakeSeconds overrides the node
+// model's wake latency; 0 keeps it. Gating changes schedules (the
+// energy/latency trade), so it is opt-in independently of metering.
+func WithPowerGating(wakeSeconds float64) Option {
+	return func(m *Machine) { m.powerGate = true; m.wakeSeconds = wakeSeconds }
+}
+
+// WithClusterPowerModel overrides the cluster-side (Xeon) electrical
+// parameters.
+func WithClusterPowerModel(p PowerModel) Option {
+	return func(m *Machine) { cp := p; m.clusterPower = &cp }
+}
+
+// WithBoosterPowerModel overrides the booster-side (KNC) electrical
+// parameters.
+func WithBoosterPowerModel(p PowerModel) Option {
+	return func(m *Machine) { cp := p; m.boosterPower = &cp }
+}
+
 // NewMachine builds a validated DEEP machine description.
 func NewMachine(opts ...Option) (*Machine, error) {
 	m := &Machine{
@@ -193,8 +261,36 @@ func NewMachine(opts ...Option) (*Machine, error) {
 			return nil, fmt.Errorf("deep: fault plan has negative parameters: %+v", *f)
 		}
 	}
+	if m.wakeSeconds < 0 {
+		return nil, fmt.Errorf("deep: negative wake latency %v s", m.wakeSeconds)
+	}
+	for side, model := range map[string]machine.NodeModel{
+		"cluster": m.clusterNodeModel(), "booster": m.boosterNodeModel(),
+	} {
+		if err := model.Validate(); err != nil {
+			return nil, fmt.Errorf("deep: %s power model: %w", side, err)
+		}
+	}
 	return m, nil
 }
+
+// clusterNodeModel returns the Xeon model with any power overrides.
+func (m *Machine) clusterNodeModel() machine.NodeModel {
+	model := machine.Xeon
+	m.clusterPower.apply(&model)
+	return model
+}
+
+// boosterNodeModel returns the KNC model with any power overrides.
+func (m *Machine) boosterNodeModel() machine.NodeModel {
+	model := machine.KNC
+	m.boosterPower.apply(&model)
+	return model
+}
+
+// EnergyMetered reports whether the machine publishes energy
+// telemetry (WithEnergyMetering).
+func (m *Machine) EnergyMetered() bool { return m.energy }
 
 // ClusterNodes returns the cluster side size.
 func (m *Machine) ClusterNodes() int { return m.clusterNodes }

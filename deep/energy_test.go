@@ -1,0 +1,175 @@
+package deep_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/deep"
+)
+
+func jobMix() []deep.Job {
+	jobs := make([]deep.Job, 8)
+	for i := range jobs {
+		jobs[i] = deep.Job{ID: i, Arrival: float64(i) * 0.1, Duration: 1.5, Boosters: 8, Owner: i % 4}
+	}
+	return jobs
+}
+
+// TestScheduledJobsEnergyBlock: a metered machine fills Result.Energy
+// with a booster group and credits peak flops, and the text rendering
+// grows an energy block.
+func TestScheduledJobsEnergyBlock(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithBoosterTorus(4, 4, 2), deep.WithEnergyMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deep.Run(context.Background(), m.NewEnv(), deep.ScheduledJobs{Jobs: jobMix(), Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy == nil {
+		t.Fatal("metered run has no Energy block")
+	}
+	if res.Energy.Joules <= 0 || res.Energy.GFlopsPerWatt <= 0 {
+		t.Fatalf("energy block %+v", res.Energy)
+	}
+	if len(res.Energy.Groups) != 1 || res.Energy.Groups[0].Name != "booster" {
+		t.Fatalf("groups %+v", res.Energy.Groups)
+	}
+	if j, ok := res.Metric("joules"); !ok || j != res.Energy.Joules {
+		t.Fatalf("joules metric %v (ok=%v) vs block %v", j, ok, res.Energy.Joules)
+	}
+	var b strings.Builder
+	if err := res.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "energy = ") || !strings.Contains(b.String(), "booster = ") {
+		t.Fatalf("text rendering lacks energy block:\n%s", b.String())
+	}
+}
+
+// TestUnmeteredRunHasNoEnergy: the default machine's results are
+// untouched — the byte-identity guarantee for existing consumers.
+func TestUnmeteredRunHasNoEnergy(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithBoosterTorus(4, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deep.Run(context.Background(), m.NewEnv(), deep.ScheduledJobs{Jobs: jobMix(), Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != nil {
+		t.Fatal("unmetered run grew an Energy block")
+	}
+	if _, ok := res.Metric("joules"); ok {
+		t.Fatal("unmetered run grew a joules metric")
+	}
+}
+
+// TestPowerGatingTradesLatencyForJoules: gating sleeps idle boosters
+// (fewer joules) at the price of wake latency (longer makespan).
+func TestPowerGatingTradesLatencyForJoules(t *testing.T) {
+	// A sparse mix: most of the pool idles, which is what gating
+	// converts into sleep-state savings.
+	sparse := []deep.Job{
+		{ID: 0, Arrival: 0, Duration: 0.5, Boosters: 4},
+		{ID: 1, Arrival: 1.5, Duration: 0.5, Boosters: 4},
+		{ID: 2, Arrival: 3.0, Duration: 0.5, Boosters: 4},
+	}
+	run := func(opts ...deep.Option) *deep.Result {
+		t.Helper()
+		opts = append([]deep.Option{deep.WithBoosterTorus(4, 4, 2), deep.WithEnergyMetering()}, opts...)
+		m, err := deep.NewMachine(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := deep.Run(context.Background(), m.NewEnv(), deep.ScheduledJobs{Jobs: sparse, Dynamic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run()
+	gated := run(deep.WithPowerGating(0.05))
+	if gated.ModelTime <= plain.ModelTime {
+		t.Fatalf("gating did not add wake latency: %v vs %v", gated.ModelTime, plain.ModelTime)
+	}
+	if gated.Energy.Joules >= plain.Energy.Joules {
+		t.Fatalf("gating did not save energy: %v J vs %v J", gated.Energy.Joules, plain.Energy.Joules)
+	}
+	if gated.Energy.Groups[0].SleepSeconds <= 0 {
+		t.Fatal("gated run reports no sleep node-seconds")
+	}
+}
+
+// TestMPIWorkloadEnergy: the Global-MPI workloads report the
+// makespan-bounded node energy plus fabric transfer charges.
+func TestMPIWorkloadEnergy(t *testing.T) {
+	m, err := deep.NewMachine(deep.WithClusterNodes(4), deep.WithEnergyMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := m.NewEnv()
+	env.Ranks = 4
+	res, err := deep.Run(context.Background(), env, deep.SpMV{NX: 16, NY: 16, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("run failed verification")
+	}
+	if res.Energy == nil || res.Energy.Joules <= 0 {
+		t.Fatalf("energy block %+v", res.Energy)
+	}
+	if len(res.Energy.Charges) != 1 || res.Energy.Charges[0].Name != "fabric" {
+		t.Fatalf("charges %+v", res.Energy.Charges)
+	}
+}
+
+// TestPowerModelOverrides: WithBoosterPowerModel changes the energy
+// outcome, and inconsistent models are rejected at build time.
+func TestPowerModelOverrides(t *testing.T) {
+	base, err := deep.NewMachine(deep.WithBoosterTorus(4, 4, 2), deep.WithEnergyMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := deep.NewMachine(deep.WithBoosterTorus(4, 4, 2), deep.WithEnergyMetering(),
+		deep.WithBoosterPowerModel(deep.PowerModel{PeakWatts: 400}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := deep.ScheduledJobs{Jobs: jobMix(), Dynamic: true}
+	r1, err := deep.Run(context.Background(), base.NewEnv(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := deep.Run(context.Background(), hot.NewEnv(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Energy.Joules <= r1.Energy.Joules {
+		t.Fatalf("hotter booster model not reflected: %v vs %v", r2.Energy.Joules, r1.Energy.Joules)
+	}
+	if _, err := deep.NewMachine(deep.WithBoosterPowerModel(deep.PowerModel{PeakWatts: 10})); err == nil {
+		t.Fatal("peak below idle accepted")
+	}
+}
+
+// TestRunnerEnergyColumns: Runner.Energy appends the two energy
+// columns and fills the machine-readable summary for E16.
+func TestRunnerEnergyColumns(t *testing.T) {
+	rep, err := (&deep.Runner{Energy: true}).Run(context.Background(), "E01", "E16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e01 := rep.Results[0].Table
+	if e01.Headers[len(e01.Headers)-2] != "joules" {
+		t.Fatalf("E01 energy headers missing: %v", e01.Headers)
+	}
+	e16 := rep.Results[1].Table
+	if e16.Summary["joules"] <= 0 {
+		t.Fatalf("E16 summary %+v", e16.Summary)
+	}
+}

@@ -18,7 +18,7 @@ import (
 //
 //	go run ./cmd/deepbench -run E01 > deep/testdata/E01.golden
 func TestGoldenOutputs(t *testing.T) {
-	for _, id := range []string{"E01", "E04", "E12", "E13", "E14", "E15"} {
+	for _, id := range []string{"E01", "E04", "E12", "E13", "E14", "E15", "E16"} {
 		t.Run(id, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cbp"
+	"repro/internal/energy"
 	"repro/internal/resil"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -34,6 +35,9 @@ type Checkpointing struct {
 	// Buddy replicates each checkpoint to a partner node (doubling the
 	// effective write cost, surviving single-node loss).
 	Buddy bool
+	// IOWatts is the extra per-node draw while checkpoint/restore I/O
+	// is in flight; it only matters on energy-metered machines.
+	IOWatts float64
 }
 
 // DalyInterval returns Daly's higher-order optimum checkpoint
@@ -120,7 +124,29 @@ func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
 			LocalWrite:   sim.FromSeconds(c.Write),
 			LocalRestore: sim.FromSeconds(c.Restore),
 			Buddy:        c.Buddy,
+			IOWatts:      c.IOWatts,
 		}
+	}
+	var rec *energy.Recorder
+	if m.energy {
+		rec = energy.NewRecorder(eng)
+		sched.Energy = rec.MustAddGroup("booster", m.boosterNodeModel(), pool.Size())
+		// A fault injector keeps the engine alive to its horizon;
+		// energy to solution ends when the last job completes.
+		done := 0
+		sched.OnJobDone = func(*resource.Job) {
+			if done++; done == len(s.Jobs) {
+				rec.Freeze()
+			}
+		}
+	}
+	if m.powerGate {
+		// Gating reshapes the schedule whether or not it is metered.
+		wake := sim.FromSeconds(m.wakeSeconds)
+		if wake == 0 {
+			wake = m.boosterNodeModel().WakeLatency
+		}
+		sched.PowerGate(wake)
 	}
 	for _, j := range s.Jobs {
 		sched.Submit(&resource.Job{
@@ -174,6 +200,11 @@ func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
 	if inj != nil {
 		res.addMetric("node_failures", float64(inj.NodeFailures), "")
 		res.addMetric("node_repairs", float64(inj.NodeRepairs), "")
+	}
+	if rec != nil {
+		res.Energy = energyReport(rec)
+		res.addMetric("joules", rec.Joules(), "J")
+		res.addMetric("gflops_per_watt", rec.GFlopsPerWatt(), "")
 	}
 	// Verification for a scheduling run: every submitted job completed.
 	res.Verified = completed == len(s.Jobs)

@@ -135,6 +135,26 @@ func (o Offload) Run(ctx context.Context, env *Env) (*Result, error) {
 	if o.Reverse != nil {
 		res.addMetric("reverse_calls", float64(reverseCalls), "")
 	}
+	if m.energy {
+		// Both sides are lit for the offload window: the cluster ranks
+		// drive the invocation, the worker group computes the kernel.
+		sec := makespan.Seconds()
+		cl, bo := m.clusterNodeModel(), m.boosterNodeModel()
+		clusterJ := float64(env.Ranks) * cl.PeakWatts * sec
+		boosterJ := float64(m.boosterWorkers) * bo.PeakWatts * sec
+		rep := &EnergyReport{
+			Joules: clusterJ + boosterJ,
+			Groups: []GroupEnergy{
+				{Name: "cluster", Joules: clusterJ, BusyFraction: 1},
+				{Name: "booster", Joules: boosterJ, BusyFraction: 1},
+			},
+		}
+		if o.FlopsPerRank > 0 && rep.Joules > 0 {
+			rep.GFlopsPerWatt = o.FlopsPerRank * float64(m.boosterWorkers) / rep.Joules / 1e9
+		}
+		res.Energy = rep
+		res.addMetric("joules", rep.Joules, "J")
+	}
 	if o.Want != nil {
 		if len(out) != len(o.Want) {
 			return nil, fmt.Errorf("deep: offload gathered %d values, reference has %d",

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/energy"
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -53,6 +55,59 @@ type Result struct {
 	// Verified is the run's verdict: true when unchecked runs
 	// completed or checked runs met their tolerance.
 	Verified bool `json:"verified"`
+	// Energy is the run's power/energy telemetry, present only on
+	// machines built with WithEnergyMetering (unmetered output is
+	// byte-identical to previous releases).
+	Energy *EnergyReport `json:"energy,omitempty"`
+}
+
+// EnergyReport is the structured energy block of a metered run.
+type EnergyReport struct {
+	// Joules is the total energy to solution.
+	Joules float64 `json:"joules"`
+	// GFlopsPerWatt is the achieved efficiency; zero when the
+	// workload has no useful-flop accounting.
+	GFlopsPerWatt float64 `json:"gflops_per_watt,omitempty"`
+	// Groups breaks the total down by node group.
+	Groups []GroupEnergy `json:"groups,omitempty"`
+	// Charges lists the non-node energy categories (fabric transfer
+	// energy, checkpoint I/O, ...) in joules.
+	Charges []Metric `json:"charges,omitempty"`
+}
+
+// GroupEnergy is one node group's share of a run's energy.
+type GroupEnergy struct {
+	Name   string  `json:"name"`
+	Joules float64 `json:"joules"`
+	// BusyFraction is busy node-seconds over total node-seconds.
+	BusyFraction float64 `json:"busy_fraction"`
+	// SleepSeconds is the node-seconds spent power-gated.
+	SleepSeconds float64 `json:"sleep_node_seconds,omitempty"`
+}
+
+// energyReport converts a recorder's accumulated state into the
+// public report form. Nil recorders yield nil.
+func energyReport(rec *energy.Recorder) *EnergyReport {
+	if rec == nil {
+		return nil
+	}
+	rep := &EnergyReport{
+		Joules:        rec.Joules(),
+		GFlopsPerWatt: rec.GFlopsPerWatt(),
+	}
+	for _, name := range rec.GroupNames() {
+		g := rec.Group(name)
+		rep.Groups = append(rep.Groups, GroupEnergy{
+			Name:         name,
+			Joules:       g.Joules(),
+			BusyFraction: g.BusyFraction(),
+			SleepSeconds: g.StateNodeSeconds(machine.PowerSleep),
+		})
+	}
+	for _, name := range rec.ChargeNames() {
+		rep.Charges = append(rep.Charges, Metric{Name: name, Value: rec.ChargeJoules(name), Unit: "J"})
+	}
+	return rep
 }
 
 // Metric returns the named metric value.
@@ -104,6 +159,19 @@ func (r *Result) WriteText(w io.Writer) error {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	if e := r.Energy; e != nil {
+		fmt.Fprintf(&b, "  energy = %.4g J", e.Joules)
+		if e.GFlopsPerWatt > 0 {
+			fmt.Fprintf(&b, " (%.3g GFlop/W)", e.GFlopsPerWatt)
+		}
+		b.WriteByte('\n')
+		for _, g := range e.Groups {
+			fmt.Fprintf(&b, "    %s = %.4g J (busy %.2f)\n", g.Name, g.Joules, g.BusyFraction)
+		}
+		for _, c := range e.Charges {
+			fmt.Fprintf(&b, "    %s = %.4g J\n", c.Name, c.Value)
+		}
 	}
 	if r.Checked {
 		fmt.Fprintf(&b, "  max error = %.3e (tol %.1e)\n", r.MaxError, r.Tol)

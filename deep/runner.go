@@ -13,23 +13,26 @@ import (
 )
 
 // Table is the public form of one rendered figure: title, column
-// headers, string cells, and paper-vs-measured commentary.
+// headers, string cells, and paper-vs-measured commentary. Summary
+// carries machine-readable run totals (e.g. "joules" for energy
+// experiments) that are not rendered in text or CSV output.
 type Table struct {
-	Title   string     `json:"title"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
+	Title   string             `json:"title"`
+	Headers []string           `json:"headers"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Summary map[string]float64 `json:"summary,omitempty"`
 }
 
 // fromStats converts the internal table representation.
 func fromStats(t *stats.Table) *Table {
-	return &Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+	return &Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes, Summary: t.Summary}
 }
 
 // toStats converts back for rendering, so the aligned-text and CSV
 // formats have exactly one implementation.
 func (t *Table) toStats() *stats.Table {
-	return &stats.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+	return &stats.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes, Summary: t.Summary}
 }
 
 // Render writes the table as aligned text.
@@ -103,6 +106,10 @@ type Runner struct {
 	// Fidelity overrides the fabric transfer model of event-driven
 	// experiments; DefaultFidelity keeps each experiment's own choice.
 	Fidelity Fidelity
+	// Energy appends joules / GFlop/W columns to every experiment,
+	// fed by the event-driven energy recorder. Off keeps the
+	// published tables byte-identical.
+	Energy bool
 }
 
 // Run executes the named experiments (all of them, in registry order,
@@ -122,7 +129,7 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		}
 		exps[i] = e
 	}
-	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity)}
+	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity), Energy: r.Energy}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}

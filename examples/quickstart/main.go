@@ -4,10 +4,13 @@
 // modelled execution time.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -energy              # add the energy block
+//	go run ./examples/quickstart -fidelity flow       # flow-level fabric
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -16,16 +19,31 @@ import (
 )
 
 func main() {
+	var (
+		energyFlag = flag.Bool("energy", false, "meter energy to solution (Result.Energy block)")
+		fidStr     = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+	)
+	flag.Parse()
+	fid, err := deep.ParseFidelity(*fidStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// One Machine describes the whole modelled system: Xeon cluster
 	// nodes on InfiniBand, KNC booster nodes on a 3x3x3 EXTOLL torus,
 	// and the worker group spawned for offloaded kernels.
-	m, err := deep.NewMachine(
+	opts := []deep.Option{
 		deep.WithClusterNodes(8),
 		deep.WithBoosterTorus(3, 3, 3),
 		deep.WithClusterRanks(2),
 		deep.WithBoosterWorkers(8),
 		deep.WithModelCompute(),
-	)
+		deep.WithFidelity(fid),
+	}
+	if *energyFlag {
+		opts = append(opts, deep.WithEnergyMetering())
+	}
+	m, err := deep.NewMachine(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

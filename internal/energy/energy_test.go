@@ -2,102 +2,312 @@ package energy
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
-func TestMeterBasics(t *testing.T) {
-	m := NewMeter()
-	m.AddGroup("cluster", machine.Xeon, 2)
-	m.Phase("cluster", 10*sim.Second, 1.0, 1e12)
+// advance moves the engine clock to t through an empty event.
+func advance(eng *sim.Engine, t sim.Time) {
+	eng.At(t, func() {})
+	eng.Run()
+}
+
+func TestRecorderBusyIdleIntegration(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("cluster", machine.Xeon, 2)
+	g.Transition(2, machine.PowerIdle, machine.PowerBusy)
+	g.AddFlops(1e12)
+	advance(eng, 10*sim.Second)
 	wantJ := machine.Xeon.PeakWatts * 2 * 10
-	if got := m.Joules(); math.Abs(got-wantJ) > 1e-6*wantJ {
+	if got := rec.Joules(); math.Abs(got-wantJ) > 1e-6*wantJ {
 		t.Fatalf("joules = %v, want %v", got, wantJ)
 	}
-	if got := m.Flops(); got != 1e12 {
+	if got := rec.Flops(); got != 1e12 {
 		t.Fatalf("flops = %v", got)
 	}
 	want := 1e12 / wantJ / 1e9
-	if got := m.GFlopsPerWatt(); math.Abs(got-want) > 1e-9 {
+	if got := rec.GFlopsPerWatt(); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("GFlop/W = %v, want %v", got, want)
 	}
 }
 
-func TestIdlePhaseBurnsEnergyWithoutFlops(t *testing.T) {
-	m := NewMeter()
-	m.AddGroup("booster", machine.KNC, 4)
-	m.Phase("booster", 5*sim.Second, 0, 0)
+func TestIdleOccupancyBurnsEnergyWithoutFlops(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("booster", machine.KNC, 4)
+	advance(eng, 5*sim.Second)
 	wantJ := machine.KNC.IdleWatts * 4 * 5
-	if got := m.Joules(); math.Abs(got-wantJ) > 1e-9*wantJ {
+	if got := rec.Joules(); math.Abs(got-wantJ) > 1e-9*wantJ {
 		t.Fatalf("idle joules = %v, want %v", got, wantJ)
 	}
-	if m.GFlopsPerWatt() != 0 {
+	if rec.GFlopsPerWatt() != 0 {
 		t.Fatal("efficiency should be zero with zero flops")
 	}
-	g := m.Group("booster")
 	if g.BusyFraction() != 0 {
 		t.Fatalf("busy fraction %v", g.BusyFraction())
 	}
 }
 
-func TestBusyFraction(t *testing.T) {
-	m := NewMeter()
-	g := m.AddGroup("x", machine.Xeon, 1)
-	m.Phase("x", 3*sim.Second, 1, 1)
-	m.Phase("x", 1*sim.Second, 0, 0)
-	if got := g.BusyFraction(); math.Abs(got-0.75) > 1e-9 {
-		t.Fatalf("busy fraction %v, want 0.75", got)
+func TestSleepStateDrawsSleepWatts(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("b", machine.KNC, 8)
+	g.Transition(8, machine.PowerIdle, machine.PowerSleep)
+	advance(eng, 3*sim.Second)
+	wantJ := machine.KNC.SleepWatts * 8 * 3
+	if got := rec.Joules(); math.Abs(got-wantJ) > 1e-9*wantJ {
+		t.Fatalf("sleep joules = %v, want %v", got, wantJ)
+	}
+	if got := g.StateNodeSeconds(machine.PowerSleep); math.Abs(got-24) > 1e-9 {
+		t.Fatalf("sleep node-seconds = %v, want 24", got)
 	}
 }
 
-func TestUnknownGroupPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for unknown group")
-		}
-	}()
-	NewMeter().Phase("nope", sim.Second, 1, 0)
+func TestBusyUtilisationInterpolates(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("c", machine.Xeon, 16)
+	g.SetBusyUtilisation(1.0 / 16)
+	g.Transition(16, machine.PowerIdle, machine.PowerBusy)
+	advance(eng, 4*sim.Second)
+	wantJ := machine.Xeon.Power(1.0/16) * 16 * 4
+	if got := rec.Joules(); math.Abs(got-wantJ) > 1e-9*wantJ {
+		t.Fatalf("joules = %v, want %v (Phase-compatible utilisation draw)", got, wantJ)
+	}
 }
 
-func TestNegativeDurationPanics(t *testing.T) {
-	m := NewMeter()
-	m.AddGroup("g", machine.Xeon, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for negative duration")
-		}
-	}()
-	m.Phase("g", -sim.Second, 1, 0)
+func TestDuplicateGroupIsAnError(t *testing.T) {
+	rec := NewRecorder(sim.New())
+	if _, err := rec.AddGroup("b", machine.KNC, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.AddGroup("b", machine.Xeon, 2); err == nil {
+		t.Fatal("re-adding an existing group must be an error, not a silent replace")
+	}
+	// The original registration survives the rejected re-add.
+	g := rec.Group("b")
+	if g.Count != 4 || g.Model.Kind != machine.BoosterNode {
+		t.Fatalf("group mutated by rejected re-add: %+v", g)
+	}
 }
 
-func TestGroupNamesSorted(t *testing.T) {
-	m := NewMeter()
-	m.AddGroup("zeta", machine.Xeon, 1)
-	m.AddGroup("alpha", machine.KNC, 1)
-	names := m.GroupNames()
-	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
-		t.Fatalf("names = %v", names)
+func TestNonPositiveCountIsAnError(t *testing.T) {
+	rec := NewRecorder(sim.New())
+	if _, err := rec.AddGroup("z", machine.KNC, 0); err == nil {
+		t.Fatal("zero-node group must be rejected")
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var rec *Recorder
+	g, err := rec.AddGroup("x", machine.Xeon, 4)
+	if g != nil || err != nil {
+		t.Fatalf("nil recorder AddGroup = (%v, %v)", g, err)
+	}
+	rec.Charge("fabric", 10)
+	rec.Freeze()
+	g.Transition(1, machine.PowerIdle, machine.PowerBusy)
+	g.AddFlops(1)
+	g.SetBusyUtilisation(0.5)
+	if rec.Joules() != 0 || rec.Flops() != 0 || rec.GFlopsPerWatt() != 0 {
+		t.Fatal("nil recorder accumulated energy")
+	}
+	if g.Joules() != 0 || g.BusyFraction() != 0 || g.InState(machine.PowerBusy) != 0 {
+		t.Fatal("nil group accumulated state")
+	}
+	if rec.GroupNames() != nil || rec.ChargeNames() != nil {
+		t.Fatal("nil recorder has names")
+	}
+}
+
+func TestChargesAccumulateByName(t *testing.T) {
+	rec := NewRecorder(sim.New())
+	rec.Charge("fabric", 2.5)
+	rec.Charge("checkpoint-io", 1.0)
+	rec.Charge("fabric", 0.5)
+	if got := rec.ChargeJoules("fabric"); got != 3.0 {
+		t.Fatalf("fabric charge = %v", got)
+	}
+	if got := rec.Joules(); got != 4.0 {
+		t.Fatalf("total = %v", got)
+	}
+	names := rec.ChargeNames()
+	if len(names) != 2 || names[0] != "checkpoint-io" || names[1] != "fabric" {
+		t.Fatalf("charge names = %v", names)
+	}
+}
+
+func TestOverdrawnTransitionPanics(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("g", machine.KNC, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic moving more nodes than the state holds")
+		}
+	}()
+	g.Transition(3, machine.PowerIdle, machine.PowerBusy)
+}
+
+func TestFreezeCapsAccumulation(t *testing.T) {
+	eng := sim.New()
+	rec := NewRecorder(eng)
+	g := rec.MustAddGroup("b", machine.KNC, 4)
+	g.Transition(4, machine.PowerIdle, machine.PowerBusy)
+	eng.At(2*sim.Second, func() { rec.Freeze() })
+	eng.At(10*sim.Second, func() {
+		// Post-freeze activity moves occupancy but adds no joules.
+		g.Transition(4, machine.PowerBusy, machine.PowerIdle)
+		rec.Charge("fabric", 99)
+	})
+	eng.Run()
+	want := 4 * machine.KNC.PeakWatts * 2
+	if got := rec.Joules(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("frozen joules = %v, want %v (2 s of busy draw only)", got, want)
+	}
+	if g.InState(machine.PowerIdle) != 4 {
+		t.Fatal("post-freeze transition lost")
 	}
 }
 
 func TestBoosterBeatsClusterEfficiency(t *testing.T) {
-	// Same work on each platform at peak: the booster meter must report
-	// higher GFlop/W — the claim the energy experiment reproduces.
+	// Same work on each platform at peak: the booster recorder must
+	// report higher GFlop/W — the claim the energy experiments
+	// reproduce.
 	work := 1e13
-	cluster := NewMeter()
-	cluster.AddGroup("c", machine.Xeon, 1)
-	tc := work / (machine.Xeon.PeakGFlops * 1e9)
-	cluster.Phase("c", sim.FromSeconds(tc), 1, work)
+	run := func(m machine.NodeModel) float64 {
+		eng := sim.New()
+		rec := NewRecorder(eng)
+		g := rec.MustAddGroup("n", m, 1)
+		g.Transition(1, machine.PowerIdle, machine.PowerBusy)
+		g.AddFlops(work)
+		advance(eng, sim.FromSeconds(work/(m.PeakGFlops*1e9)))
+		return rec.GFlopsPerWatt()
+	}
+	if b, c := run(machine.KNC), run(machine.Xeon); b <= c {
+		t.Fatalf("booster %.2f <= cluster %.2f GFlop/W", b, c)
+	}
+}
 
-	booster := NewMeter()
-	booster.AddGroup("b", machine.KNC, 1)
-	tb := work / (machine.KNC.PeakGFlops * 1e9)
-	booster.Phase("b", sim.FromSeconds(tb), 1, work)
+// TestEnergyInvariantUnderEventReordering is the satellite property
+// test: total energy depends only on how long each power state was
+// occupied, not on the order in which same-time transition events
+// fire. We build a random schedule of transitions, then replay it
+// with every same-time batch shuffled differently; joules must agree
+// to float rounding.
+func TestEnergyInvariantUnderEventReordering(t *testing.T) {
+	type move struct {
+		at       sim.Time
+		n        int
+		from, to machine.PowerState
+	}
+	const nodes = 32
+	for trial := 0; trial < 20; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		// Generate a schedule that stays valid under any permutation of
+		// its same-time batches: moves within one batch only draw nodes
+		// the state held before the batch started (never nodes another
+		// same-time move produces), so no ordering can overdraw.
+		var sched []move
+		occ := [machine.NumPowerStates]int{machine.PowerIdle: nodes}
+		pre := occ // occupancy at the current batch's start
+		var out [machine.NumPowerStates]int
+		at := sim.Time(0)
+		for i := 0; i < 40; i++ {
+			if step := r.Intn(3); step > 0 {
+				at += sim.Time(step) * 250 * sim.Millisecond
+				pre = occ
+				out = [machine.NumPowerStates]int{}
+			}
+			from := machine.PowerState(r.Intn(int(machine.NumPowerStates)))
+			to := machine.PowerState(r.Intn(int(machine.NumPowerStates)))
+			avail := pre[from] - out[from]
+			if avail == 0 || from == to {
+				continue
+			}
+			n := 1 + r.Intn(avail)
+			out[from] += n
+			occ[from] -= n
+			occ[to] += n
+			sched = append(sched, move{at, n, from, to})
+		}
+		run := func(perm []int) float64 {
+			eng := sim.New()
+			rec := NewRecorder(eng)
+			g := rec.MustAddGroup("g", machine.KNC, nodes)
+			// Schedule each move as its own event; the permutation
+			// varies the scheduling order, and the engine breaks
+			// same-time ties by that order.
+			for _, idx := range perm {
+				m := sched[idx]
+				eng.At(m.at, func() { g.Transition(m.n, m.from, m.to) })
+			}
+			eng.Run()
+			return rec.Joules()
+		}
+		base := make([]int, len(sched))
+		for i := range base {
+			base[i] = i
+		}
+		want := run(base)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			perm := append([]int(nil), base...)
+			// Shuffle only within same-time batches so the schedule
+			// stays valid (occupancy never goes negative).
+			for i := 0; i < len(perm); i++ {
+				j := i
+				for j+1 < len(perm) && sched[perm[j+1]].at == sched[perm[i]].at {
+					j++
+				}
+				for k := j; k > i; k-- {
+					swap := i + r.Intn(k-i+1)
+					perm[k], perm[swap] = perm[swap], perm[k]
+				}
+				i = j
+			}
+			if got := run(perm); math.Abs(got-want) > 1e-9*math.Abs(want)+1e-9 {
+				t.Fatalf("trial %d: reordered run = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
 
-	if booster.GFlopsPerWatt() <= cluster.GFlopsPerWatt() {
-		t.Fatalf("booster %.2f <= cluster %.2f GFlop/W",
-			booster.GFlopsPerWatt(), cluster.GFlopsPerWatt())
+// TestRecorderParallelRuns exercises independent engine+recorder
+// pairs on concurrent goroutines — the deep.Runner shape — under the
+// race detector (the CI race job includes this package).
+func TestRecorderParallelRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([]float64, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := sim.New()
+			rec := NewRecorder(eng)
+			g := rec.MustAddGroup("b", machine.KNC, 16)
+			for k := 0; k < 50; k++ {
+				k := k
+				eng.At(sim.Time(k)*sim.Millisecond, func() {
+					if k%2 == 0 {
+						g.Transition(4, machine.PowerIdle, machine.PowerBusy)
+					} else {
+						g.Transition(4, machine.PowerBusy, machine.PowerIdle)
+					}
+				})
+			}
+			eng.Run()
+			results[i] = rec.Joules()
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range results {
+		if math.Abs(j-results[0]) > 1e-9 {
+			t.Fatalf("run %d joules %v differs from run 0 %v", i, j, results[0])
+		}
 	}
 }

@@ -38,15 +38,22 @@ func runA01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	}
 	tab := stats.NewTable(
 		"A01 Ablation: ready-queue policy on tiled Cholesky (16x16 tiles)",
-		"workers", "priority_ms", "fifo_ms", "priority_gain")
+		cfg.energyHeaders("workers", "priority_ms", "fifo_ms", "priority_gain")...)
 	for _, w := range []int{2, 4, 8, 16, 32} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		p := withPrio.Makespan(w)
 		f := flat.Makespan(w)
-		tab.AddRow(w, float64(p)/float64(sim.Millisecond),
-			float64(f)/float64(sim.Millisecond), float64(f)/float64(p))
+		// The priority schedule's makespan on one KNC node with w
+		// cores lit; the FIFO schedule pays its longer tail in joules.
+		util := float64(w) / float64(machine.KNC.Cores)
+		joules := machine.KNC.Power(util) * p.Seconds()
+		flops := 512.0 * 512 * 512 / 3
+		tab.AddRow(cfg.energyRow(
+			[]any{w, float64(p) / float64(sim.Millisecond),
+				float64(f) / float64(sim.Millisecond), float64(f) / float64(p)},
+			joules, gflopsPerWatt(flops, joules))...)
 	}
 	tab.AddNote("priorities favour critical-path potrf/trsm tasks; gain peaks at moderate worker counts")
 	return tab, nil
@@ -60,7 +67,7 @@ func runA01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 func runA02(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A02 Ablation: contiguous vs first-fit booster allocation",
-		"alloc_nodes", "firstfit_avg_hops", "subtorus_avg_hops", "improvement")
+		cfg.energyHeaders("alloc_nodes", "firstfit_avg_hops", "subtorus_avg_hops", "improvement")...)
 	for _, n := range []int{4, 8, 16} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -73,9 +80,20 @@ func runA02(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tab.AddRow(n, ff, ct, ff/ct)
+		// Per-byte transfer energy scales with hop count: the energy
+		// of a 64 KiB all-pairs halo round at each placement's mean
+		// distance — scattered allocations pay it on every exchange.
+		halo := func(avgHops float64) float64 {
+			pairs := float64(n * (n - 1))
+			return fabric.ExtollEnergy.PerByteJ * float64(64<<10) * avgHops * pairs
+		}
+		tab.AddRow(cfg.energyRow([]any{n, ff, ct, ff / ct},
+			halo(ff)+halo(ct), 0)...)
 	}
 	tab.AddNote("prior fragmentation: every 5th node busy; contiguous allocation keeps hop counts low")
+	if cfg.energyOn() {
+		tab.AddNote("energy: one 64 KiB all-pairs exchange under both placements — fragmentation is a per-byte energy tax")
+	}
 	return tab, nil
 }
 
@@ -116,7 +134,7 @@ func allocAvgHops(n int, p resource.Policy) (float64, error) {
 func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A03 Ablation: VELO eager-limit sensitivity (8 KiB messages)",
-		"eager_limit", "time_us", "engine")
+		cfg.energyHeaders("eager_limit", "time_us", "engine")...)
 	const size = 8 << 10
 	for _, limit := range []int{512, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
 		if err := ctx.Err(); err != nil {
@@ -126,6 +144,7 @@ func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		tor := topology.NewTorus3D(4, 4, 1)
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
 		net.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
+		net.SetEnergyModel(fabric.ExtollEnergy)
 		p := fabric.DefaultEngines()
 		p.EagerLimit = limit
 		nic := fabric.NewNIC(net, 0, p)
@@ -136,7 +155,8 @@ func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if size <= limit {
 			engine = "velo"
 		}
-		tab.AddRow(limit, at.Micros(), engine)
+		tab.AddRow(cfg.energyRow([]any{limit, at.Micros(), engine},
+			net.EnergyJoules(), 0)...)
 	}
 	tab.AddNote("once the limit admits the message, VELO skips the rendezvous round trip")
 	return tab, nil
@@ -149,7 +169,7 @@ func runA03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 func runA04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"A04 Ablation: Booster Interface saturation under concurrent cross-traffic",
-		"concurrent_msgs", "finish_ms", "per_msg_ms", "gateway_util")
+		cfg.energyHeaders("concurrent_msgs", "finish_ms", "per_msg_ms", "gateway_util")...)
 	const size = 4 << 20
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		if err := ctx.Err(); err != nil {
@@ -160,6 +180,8 @@ func runA04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		booster := fabric.MustNetwork(eng, topology.NewTorus3D(4, 4, 2), fabric.Extoll, 2)
 		cluster.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
 		booster.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
+		cluster.SetEnergyModel(fabric.InfiniBandEnergy)
+		booster.SetEnergyModel(fabric.ExtollEnergy)
 		gw := cbp.NewGateway(cluster, booster, 0, 0, 1500*sim.Nanosecond, 4*fabric.GB)
 		done := 0
 		for i := 0; i < k; i++ {
@@ -172,7 +194,8 @@ func runA04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		}
 		finish := eng.Run()
 		ms := float64(finish) / float64(sim.Millisecond)
-		tab.AddRow(k, ms, ms/float64(k), gw.Utilisation())
+		tab.AddRow(cfg.energyRow([]any{k, ms, ms / float64(k), gw.Utilisation()},
+			cluster.EnergyJoules()+booster.EnergyJoules(), 0)...)
 	}
 	tab.AddNote("one SMFU gateway serialises staging: per-message time flattens once saturated")
 	return tab, nil

@@ -28,7 +28,7 @@ func runE06(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	cp := g.CriticalPath()
 	tab := stats.NewTable(
 		"E06 Tiled Cholesky: dataflow (OmpSs) vs fork-join, 16x16 tiles",
-		"workers", "dataflow_speedup", "forkjoin_speedup", "dataflow_advantage")
+		cfg.energyHeaders("workers", "dataflow_speedup", "forkjoin_speedup", "dataflow_advantage")...)
 	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -37,11 +37,20 @@ func runE06(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		fj := c.ForkJoinMakespan(machine.KNC, w)
 		sdf := float64(serial) / float64(df)
 		sfj := float64(serial) / float64(fj)
-		tab.AddRow(w, sdf, sfj, sdf/sfj)
+		// Energy of the dataflow run: one KNC node with w of its cores
+		// lit for the makespan, against the n^3/3 factorisation flops.
+		util := float64(w) / float64(machine.KNC.Cores)
+		joules := machine.KNC.Power(util) * df.Seconds()
+		flops := float64(n) * float64(n) * float64(n) / 3
+		tab.AddRow(cfg.energyRow([]any{w, sdf, sfj, sdf / sfj},
+			joules, gflopsPerWatt(flops, joules))...)
 	}
 	tab.AddNote("tasks=%d, work=%v, critical path=%v (max speedup %.1f)",
 		g.Len(), serial, cp, float64(serial)/float64(cp))
 	tab.AddNote("expected shape: dataflow tracks ideal longer; fork-join saturates earlier (barrier idle time)")
+	if cfg.energyOn() {
+		tab.AddNote("energy: dataflow makespan at Power(w/cores) on one KNC node; GFlop/W peaks where speedup still tracks the lit cores")
+	}
 	return tab, nil
 }
 

@@ -13,7 +13,14 @@ import (
 // efficient: 5 GFlop/W"; slide 3: the exascale power wall). A mixed
 // workload — a large vectorisable kernel plus a scalar control part —
 // runs on three machines: cluster-only, booster-only, and DEEP with
-// the kernel offloaded. We integrate node power over the phases.
+// the kernel offloaded.
+//
+// The run is event-driven: phase boundaries are scheduled on a
+// simulation engine and each machine's node group publishes
+// power-state/utilisation changes into an energy.Recorder as those
+// events fire — the same telemetry path every other experiment uses
+// under -energy (the post-hoc Meter.Phase integrator this experiment
+// used to carry is gone).
 func runE11(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	const (
 		kernelFlops = 4e13 // highly scalable code part
@@ -39,48 +46,70 @@ func runE11(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		"config", "time_s", "energy_kJ", "GFlop/W", "vs_cluster")
 	var clusterGF float64
 
+	// singleSide runs both phases on one homogeneous machine: the
+	// kernel at full utilisation, then the scalar part on one core
+	// while the other cores of every node sit in the pipeline
+	// (utilisation 1/cores across the group).
+	singleSide := func(name string, m machine.NodeModel, veff float64) (sim.Time, *energy.Recorder) {
+		eng := sim.New()
+		rec := energy.NewRecorder(eng)
+		g := rec.MustAddGroup(name, m, nodes)
+		tk, ts := kernelOn(m, veff), scalarOn(m)
+		g.Transition(nodes, machine.PowerIdle, machine.PowerBusy)
+		g.AddFlops(kernelFlops)
+		eng.At(tk, func() {
+			g.SetBusyUtilisation(1.0 / float64(m.Cores))
+			g.AddFlops(scalarFlops)
+		})
+		eng.At(tk+ts, func() {
+			g.SetBusyUtilisation(1)
+			g.Transition(nodes, machine.PowerBusy, machine.PowerIdle)
+		})
+		eng.Run()
+		return tk + ts, rec
+	}
+
 	// Cluster-only: both phases on Xeon nodes.
 	{
-		m := energy.NewMeter()
-		m.AddGroup("cluster", xeon, nodes)
-		tk := kernelOn(xeon, 1)
-		ts := scalarOn(xeon)
-		m.Phase("cluster", tk, 1, kernelFlops)
-		m.Phase("cluster", ts, 1.0/float64(xeon.Cores), scalarFlops)
-		clusterGF = m.GFlopsPerWatt()
-		tab.AddRow("cluster-only", (tk + ts).Seconds(), m.Joules()/1e3, clusterGF, 1.0)
+		total, rec := singleSide("cluster", xeon, 1)
+		clusterGF = rec.GFlopsPerWatt()
+		tab.AddRow("cluster-only", total.Seconds(), rec.Joules()/1e3, clusterGF, 1.0)
 	}
 	// Booster-only: kernel fast, scalar part crawls on a 1 GHz
-	// in-order core while all nodes burn idle power.
+	// in-order core while all nodes burn busy-pipeline power.
 	{
-		m := energy.NewMeter()
-		m.AddGroup("booster", knc, nodes)
-		tk := kernelOn(knc, 0.9)
-		ts := scalarOn(knc)
-		m.Phase("booster", tk, 1, kernelFlops)
-		m.Phase("booster", ts, 1.0/float64(knc.Cores), scalarFlops)
-		g := m.GFlopsPerWatt()
-		tab.AddRow("booster-only", (tk + ts).Seconds(), m.Joules()/1e3, g, g/clusterGF)
+		total, rec := singleSide("booster", knc, 0.9)
+		g := rec.GFlopsPerWatt()
+		tab.AddRow("booster-only", total.Seconds(), rec.Joules()/1e3, g, g/clusterGF)
 	}
 	// DEEP: scalar part on 2 cluster nodes, kernel on 14 booster
-	// nodes; idle side draws idle power.
+	// nodes; the side not executing idles.
 	{
-		m := energy.NewMeter()
 		const cn, bn = 2, 14
-		m.AddGroup("cluster", xeon, cn)
-		m.AddGroup("booster", knc, bn)
+		eng := sim.New()
+		rec := energy.NewRecorder(eng)
+		cg := rec.MustAddGroup("cluster", xeon, cn)
+		bg := rec.MustAddGroup("booster", knc, bn)
 		tk := knc.Time(machine.Kernel{
 			Flops: kernelFlops / bn, ParallelFraction: 1, VectorEfficiency: 0.9,
 		}, knc.Cores)
 		ts := scalarOn(xeon)
 		// Kernel phase: boosters busy, cluster idles.
-		m.Phase("booster", tk, 1, kernelFlops)
-		m.Phase("cluster", tk, 0, 0)
-		// Scalar phase: cluster busy (one core), boosters idle.
-		m.Phase("cluster", ts, 1.0/float64(xeon.Cores), scalarFlops)
-		m.Phase("booster", ts, 0, 0)
-		g := m.GFlopsPerWatt()
-		tab.AddRow("deep", (tk + ts).Seconds(), m.Joules()/1e3, g, g/clusterGF)
+		bg.Transition(bn, machine.PowerIdle, machine.PowerBusy)
+		bg.AddFlops(kernelFlops)
+		eng.At(tk, func() {
+			// Scalar phase: boosters idle, cluster runs one core.
+			bg.Transition(bn, machine.PowerBusy, machine.PowerIdle)
+			cg.SetBusyUtilisation(1.0 / float64(xeon.Cores))
+			cg.Transition(cn, machine.PowerIdle, machine.PowerBusy)
+			cg.AddFlops(scalarFlops)
+		})
+		eng.At(tk+ts, func() {
+			cg.Transition(cn, machine.PowerBusy, machine.PowerIdle)
+		})
+		eng.Run()
+		g := rec.GFlopsPerWatt()
+		tab.AddRow("deep", (tk + ts).Seconds(), rec.Joules()/1e3, g, g/clusterGF)
 	}
 	tab.AddNote("mixed workload: 40 TFlop vector kernel + 20 GFlop scalar control part, 16 nodes")
 	tab.AddNote("expected shape: booster-only wastes energy on the scalar part; DEEP beats cluster-only clearly")

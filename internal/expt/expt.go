@@ -31,6 +31,13 @@ type Config struct {
 	// (the exact packet model everywhere except E15, which defaults to
 	// the flow fast path to reach 100k nodes).
 	Fidelity fabric.Fidelity
+	// Energy enables energy-to-solution reporting: every experiment
+	// appends joules / GFlop/W columns fed by the event-driven energy
+	// recorder (node power states, per-byte fabric energy, checkpoint
+	// I/O). Off — the default — keeps the published tables
+	// byte-identical; E16 is inherently an energy experiment and
+	// reports energy regardless.
+	Energy bool
 }
 
 // DefaultConfig returns the configuration that reproduces the
@@ -52,6 +59,36 @@ func (c *Config) fidelity(def fabric.Fidelity) fabric.Fidelity {
 		return def
 	}
 	return c.Fidelity
+}
+
+// energyOn reports whether energy reporting is enabled.
+func (c *Config) energyOn() bool { return c != nil && c.Energy }
+
+// energyHeaders returns the base column headers, extended with the
+// energy columns when energy reporting is on.
+func (c *Config) energyHeaders(headers ...string) []string {
+	if !c.energyOn() {
+		return headers
+	}
+	return append(headers, "joules", "GFlop/W")
+}
+
+// energyRow returns the base row cells, extended with the energy
+// observations when energy reporting is on. Sites with no useful-flop
+// accounting pass gfw 0.
+func (c *Config) energyRow(cells []any, joules, gfw float64) []any {
+	if !c.energyOn() {
+		return cells
+	}
+	return append(cells, joules, gfw)
+}
+
+// gflopsPerWatt is the shared ratio helper: zero when no energy.
+func gflopsPerWatt(flops, joules float64) float64 {
+	if joules == 0 {
+		return 0
+	}
+	return flops / joules / 1e9
 }
 
 // scale resolves a workload size n under the configured scale factor,

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/fabric"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -13,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"A01", "A02", "A03", "A04",
 		"E01", "E02", "E03", "E04", "E05", "E06",
 		"E07", "E08", "E09", "E10", "E11", "E12",
-		"E13", "E14", "E15",
+		"E13", "E14", "E15", "E16",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -412,5 +414,107 @@ func TestConfigScaleChangesWorkloadSize(t *testing.T) {
 	// Half scale: 100 messages delivered instead of 200 at rate 0.
 	if tab.Rows[0][1] != "100" {
 		t.Fatalf("scaled E10 delivered %s messages, want 100", tab.Rows[0][1])
+	}
+}
+
+func TestE16EnergyToSolutionShape(t *testing.T) {
+	rows := run(t, "E16")
+	for _, n := range []string{"8", "27", "64"} {
+		cl, bo, dp := rows["cluster-only/"+n], rows["booster-only/"+n], rows["deep/"+n]
+		// DEEP beats cluster-only on GFlop/W by a wide margin at
+		// every scale — the paper's positioning claim.
+		if f(t, dp[4]) < 2*f(t, cl[4]) {
+			t.Fatalf("n=%s: DEEP %s GF/W not >> cluster %s", n, dp[4], cl[4])
+		}
+		// Booster-only pays the scalar crawl in time and sits between
+		// the two in efficiency.
+		if f(t, bo[2]) <= f(t, dp[2]) {
+			t.Fatalf("n=%s: booster-only time %s should exceed DEEP %s", n, bo[2], dp[2])
+		}
+		if f(t, bo[4]) <= f(t, cl[4]) || f(t, bo[4]) >= f(t, dp[4]) {
+			t.Fatalf("n=%s: booster-only GF/W %s not between cluster %s and DEEP %s",
+				n, bo[4], cl[4], dp[4])
+		}
+	}
+	// Sleep gating amortises the fixed cluster share: co-scheduled
+	// GFlop/W must not degrade as the machine grows.
+	if f(t, rows["deep/64"][4]) < f(t, rows["deep/8"][4]) {
+		t.Fatalf("DEEP GF/W degrades with scale: %s at 64 vs %s at 8",
+			rows["deep/64"][4], rows["deep/8"][4])
+	}
+	// The machine-readable total feeds the CI energy gate.
+	e, _ := Get("E16")
+	tab, err := e.Run(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Summary["joules"] <= 0 {
+		t.Fatalf("E16 joules summary = %v", tab.Summary["joules"])
+	}
+}
+
+// TestEnergyColumnsAppendEverywhere: with Config.Energy every
+// registered experiment grows exactly two extra columns (E16 carries
+// its energy columns unconditionally), and the energy-off output is
+// untouched — the byte-identity guarantee the goldens enforce.
+func TestEnergyColumnsAppendEverywhere(t *testing.T) {
+	ctx := context.Background()
+	for _, e := range All() {
+		off, err := e.Run(ctx, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s (energy off): %v", e.ID, err)
+		}
+		on, err := e.Run(ctx, &Config{Scale: 1, Energy: true})
+		if err != nil {
+			t.Fatalf("%s (energy on): %v", e.ID, err)
+		}
+		extra := 2
+		if e.ID == "E11" || e.ID == "E16" {
+			extra = 0 // inherently energy experiments
+		}
+		if len(on.Headers) != len(off.Headers)+extra {
+			t.Fatalf("%s: energy on has %d headers, off has %d (want +%d: %v)",
+				e.ID, len(on.Headers), len(off.Headers), extra, on.Headers)
+		}
+		if extra > 0 {
+			if h := on.Headers[len(on.Headers)-2]; h != "joules" {
+				t.Fatalf("%s: penultimate energy header %q", e.ID, h)
+			}
+			joulesCol := len(on.Headers) - 2
+			for i, row := range on.Rows {
+				if len(row) != len(on.Headers) {
+					t.Fatalf("%s row %d has %d cells, want %d", e.ID, i, len(row), len(on.Headers))
+				}
+				if v := f(t, row[joulesCol]); v <= 0 {
+					t.Fatalf("%s row %d reports %v joules", e.ID, i, v)
+				}
+				// The base columns must be unchanged by metering.
+				for c := range off.Rows[i] {
+					if row[c] != off.Rows[i][c] {
+						t.Fatalf("%s row %d col %d changed under -energy: %q vs %q",
+							e.ID, i, c, row[c], off.Rows[i][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnergyDeterministicAcrossFidelity: E16's energy totals are part
+// of its table; the determinism test already pins the rendered bytes,
+// this pins the machine-readable summary across fidelities too.
+func TestEnergyDeterministicAcrossFidelity(t *testing.T) {
+	e, _ := Get("E16")
+	ctx := context.Background()
+	var totals []float64
+	for _, fid := range []fabric.Fidelity{fabric.FidelityPacket, fabric.FidelityFlow, fabric.FidelityAuto} {
+		tab, err := e.Run(ctx, &Config{Scale: 1, Fidelity: fid})
+		if err != nil {
+			t.Fatalf("E16 (%v): %v", fid, err)
+		}
+		totals = append(totals, tab.Summary["joules"])
+	}
+	if totals[0] != totals[1] || totals[0] != totals[2] {
+		t.Fatalf("E16 joules vary with fidelity: %v", totals)
 	}
 }

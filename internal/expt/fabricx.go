@@ -15,11 +15,12 @@ import (
 // messages with minimal overhead ("zero-copy MPI"); RMA does bulk
 // transfers with a rendezvous handshake. We sweep message size and
 // locate the crossover.
-func engineTime(size int, useRMA bool, fid fabric.Fidelity) sim.Time {
+func engineTime(size int, useRMA bool, fid fabric.Fidelity) (sim.Time, float64) {
 	eng := sim.New()
 	tor := topology.NewTorus3D(4, 4, 4)
 	net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
 	net.SetFidelity(fid)
+	net.SetEnergyModel(fabric.ExtollEnergy)
 	nic := fabric.NewNIC(net, 0, fabric.DefaultEngines())
 	var at sim.Time
 	cb := func(a sim.Time, err error) { at = a }
@@ -29,28 +30,33 @@ func engineTime(size int, useRMA bool, fid fabric.Fidelity) sim.Time {
 		nic.VeloSend(5, size, cb)
 	}
 	eng.Run()
-	return at
+	return at, net.EnergyJoules()
 }
 
 func runE08(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	fid := cfg.fidelity(fabric.FidelityPacket)
 	tab := stats.NewTable(
 		"E08 EXTOLL engines: VELO (eager) vs RMA (rendezvous)",
-		"bytes", "velo_us", "rma_us", "velo_GB/s", "rma_GB/s", "faster")
+		cfg.energyHeaders("bytes", "velo_us", "rma_us", "velo_GB/s", "rma_GB/s", "faster")...)
 	for _, size := range []int{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 256 << 10, 4 << 20} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		velo := engineTime(size, false, fid)
-		rma := engineTime(size, true, fid)
+		velo, veloJ := engineTime(size, false, fid)
+		rma, rmaJ := engineTime(size, true, fid)
 		faster := "velo"
 		if rma < velo {
 			faster = "rma"
 		}
-		tab.AddRow(size, velo.Micros(), rma.Micros(), gbps(size, velo), gbps(size, rma), faster)
+		tab.AddRow(cfg.energyRow(
+			[]any{size, velo.Micros(), rma.Micros(), gbps(size, velo), gbps(size, rma), faster},
+			veloJ+rmaJ, 0)...)
 	}
 	tab.AddNote("VELO wins below the eager limit; the RMA handshake amortises for bulk transfers")
 	tab.AddNote("expected shape: VELO lower latency for small messages; curves converge at large sizes")
+	if cfg.energyOn() {
+		tab.AddNote("energy: both engine runs per row; the RMA rendezvous burns extra idle-link time on small messages")
+	}
 	return tab, nil
 }
 
@@ -61,7 +67,7 @@ func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	msgsPerNode := cfg.scale(4)
 	tab := stats.NewTable(
 		"E09 EXTOLL 3D torus: latency and loaded throughput vs size",
-		"torus", "nodes", "diameter", "nbr_us", "diam_us", "rand_load_GB/s", "per_node_GB/s")
+		cfg.energyHeaders("torus", "nodes", "diameter", "nbr_us", "diam_us", "rand_load_GB/s", "per_node_GB/s")...)
 	for _, k := range []int{2, 3, 4, 6} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -70,6 +76,7 @@ func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		eng := sim.New()
 		net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
 		net.SetFidelity(cfg.fidelity(fabric.FidelityPacket))
+		net.SetEnergyModel(fabric.ExtollEnergy)
 		nbr := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(1, 0, 0), 64)
 		diam := net.ZeroLoadLatency(tor.ID(0, 0, 0), tor.ID(k/2, k/2, k/2), 64)
 
@@ -82,11 +89,16 @@ func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		}
 		finish := eng.Run()
 		agg := float64(apps.TotalBytes(msgs)) / finish.Seconds() / fabric.GB
-		tab.AddRow(tor.Name(), tor.Nodes(), topology.Diameter(tor),
-			nbr.Micros(), diam.Micros(), agg, agg/float64(tor.Nodes()))
+		tab.AddRow(cfg.energyRow(
+			[]any{tor.Name(), tor.Nodes(), topology.Diameter(tor),
+				nbr.Micros(), diam.Micros(), agg, agg / float64(tor.Nodes())},
+			net.EnergyJoules(), 0)...)
 	}
 	tab.AddNote("neighbour latency is size-independent; diameter latency grows with k/2 per dimension")
 	tab.AddNote("expected shape: aggregate throughput grows with size, per-node throughput sags (bisection)")
+	if cfg.energyOn() {
+		tab.AddNote("energy: per-byte-per-hop transfer charges plus the static draw of all 6n links over the run")
+	}
 	return tab, nil
 }
 
@@ -96,7 +108,7 @@ func runE09(ctx context.Context, cfg *Config) (*stats.Table, error) {
 func runE10(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E10 Link-level retransmission under injected errors",
-		"error_rate", "delivered", "drops", "retransmits", "latency_x", "goodput_x")
+		cfg.energyHeaders("error_rate", "delivered", "drops", "retransmits", "latency_x", "goodput_x")...)
 	msgs := cfg.scale(200)
 	const size = 256 << 10
 	base := sim.Time(0)
@@ -110,6 +122,7 @@ func runE10(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		eng := sim.New()
 		tor := topology.NewTorus3D(4, 4, 1)
 		net := fabric.MustNetwork(eng, tor, p, 11)
+		net.SetEnergyModel(fabric.ExtollEnergy)
 		delivered := 0
 		for i := 0; i < msgs; i++ {
 			src := topology.NodeID(i % tor.Nodes())
@@ -124,12 +137,17 @@ func runE10(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if rate == 0 {
 			base = finish
 		}
-		tab.AddRow(rate, delivered, int(net.Stats.Drops), int(net.Stats.Retransmits),
-			float64(finish)/float64(base),
-			float64(base)/float64(finish))
+		tab.AddRow(cfg.energyRow(
+			[]any{rate, delivered, int(net.Stats.Drops), int(net.Stats.Retransmits),
+				float64(finish) / float64(base),
+				float64(base) / float64(finish)},
+			net.EnergyJoules(), 0)...)
 	}
 	tab.AddNote("CRC detects every corrupted packet; the link retransmits locally (no end-to-end recovery needed)")
 	tab.AddNote("expected shape: zero drops through 1e-2; latency inflation tracks the retransmission rate")
+	if cfg.energyOn() {
+		tab.AddNote("energy: corrupted traversals still move bytes — retransmission inflates joules with latency")
+	}
 	return tab, nil
 }
 

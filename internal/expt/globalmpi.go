@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/cbp"
+	"repro/internal/fabric"
+	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -45,7 +47,7 @@ func spawnLatency(n int) (sim.Time, error) {
 func runE05(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E05 MPI_Comm_spawn startup latency vs booster processes",
-		"procs", "spawn_ms", "ms_per_proc")
+		cfg.energyHeaders("procs", "spawn_ms", "ms_per_proc")...)
 	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -55,10 +57,17 @@ func runE05(ctx context.Context, cfg *Config) (*stats.Table, error) {
 			return nil, err
 		}
 		ms := float64(t) / float64(sim.Millisecond)
-		tab.AddRow(n, ms, ms/float64(n))
+		// Spawn is pure orchestration: the whole 16-cluster/256-booster
+		// machine idles while the collective wires up.
+		idleW := 16*machine.Xeon.IdleWatts + 256*machine.KNC.IdleWatts
+		tab.AddRow(cfg.energyRow([]any{n, ms, ms / float64(n)},
+			idleW*t.Seconds(), 0)...)
 	}
 	tab.AddNote("spawn is a collective of the cluster processes; cost = RM base + per-process startup + wire-up")
 	tab.AddNote("expected shape: near-linear growth with process count, amortised per-process cost flattening")
+	if cfg.energyOn() {
+		tab.AddNote("energy: machine idle draw over the spawn window — startup latency is joules, not just time")
+	}
 	return tab, nil
 }
 
@@ -69,7 +78,7 @@ func runE07(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tr := cbp.NewDeepTransport(64, 64)
 	tab := stats.NewTable(
 		"E07 Global MPI: intra-fabric vs cross-gateway communication",
-		"bytes", "cluster_us", "booster_us", "cross_us", "cross_penalty")
+		cfg.energyHeaders("bytes", "cluster_us", "booster_us", "cross_us", "cross_penalty")...)
 	for _, size := range []int{64, 4 << 10, 64 << 10, 1 << 20, 16 << 20} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -80,10 +89,18 @@ func runE07(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		cross := tr.Cost(1, tr.BoosterNode(2), size) +
 			tr.SendOverhead() + tr.RecvOverhead()
 		penalty := float64(cross) / float64(intraB)
-		tab.AddRow(size, intraC.Micros(), intraB.Micros(), cross.Micros(), penalty)
+		// A crossing pays per-byte transfer energy on both fabrics
+		// (IB to the gateway, EXTOLL beyond it).
+		crossJ := fabric.InfiniBandEnergy.TransferJ(size, 1) + fabric.ExtollEnergy.TransferJ(size, 1)
+		tab.AddRow(cfg.energyRow(
+			[]any{size, intraC.Micros(), intraB.Micros(), cross.Micros(), penalty},
+			crossJ, 0)...)
 	}
 	tab.AddNote("cross-gateway pays both fabrics plus SMFU store-and-forward")
 	tab.AddNote("expected shape: crossing costs 2-4x intra-fabric; penalty shrinks as bandwidth dominates")
+	if cfg.energyOn() {
+		tab.AddNote("energy: per-byte transfer energy of one gateway crossing (both fabrics)")
+	}
 	return tab, nil
 }
 

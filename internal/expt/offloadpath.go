@@ -20,28 +20,32 @@ import (
 // e01Sizes is the message-size sweep shared with E08.
 var e01Sizes = []int{64, 512, 4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
 
-// pcieTransferTime measures one staged PCIe transfer of size bytes.
-func pcieTransferTime(size int, staged bool) sim.Time {
+// pcieTransferTime measures one staged PCIe transfer of size bytes,
+// returning the delivery time and the transfer+idle energy.
+func pcieTransferTime(size int, staged bool) (sim.Time, float64) {
 	eng := sim.New()
 	bus := fabric.NewPCIeBus(eng, fabric.PCIe2x8, 8*fabric.GB, staged)
+	bus.SetEnergyModel(fabric.PCIeEnergy)
 	var at sim.Time
 	bus.Transfer(size, func(a sim.Time, err error) { at = a })
 	eng.Run()
-	return at
+	return at, bus.EnergyJoules()
 }
 
 // networkTransferTime measures one EXTOLL transfer between a booster
-// node and its gateway-adjacent neighbour over h hops.
-func networkTransferTime(size, hops int, fid fabric.Fidelity) sim.Time {
+// node and its gateway-adjacent neighbour over h hops, returning the
+// delivery time and the transfer+idle energy.
+func networkTransferTime(size, hops int, fid fabric.Fidelity) (sim.Time, float64) {
 	eng := sim.New()
 	tor := topology.NewTorus3D(8, 1, 1)
 	net := fabric.MustNetwork(eng, tor, fabric.Extoll, 1)
 	net.SetFidelity(fid)
+	net.SetEnergyModel(fabric.ExtollEnergy)
 	nic := fabric.NewNIC(net, 0, fabric.DefaultEngines())
 	var at sim.Time
 	nic.Transfer(topology.NodeID(hops), size, func(a sim.Time, err error) { at = a })
 	eng.Run()
-	return at
+	return at, net.EnergyJoules()
 }
 
 func gbps(size int, t sim.Time) float64 {
@@ -54,21 +58,26 @@ func gbps(size int, t sim.Time) float64 {
 func runE01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E01 Offload path: PCIe-staged accelerator vs network-attached booster",
-		"bytes", "pcie_us", "extoll_us", "pcie_GB/s", "extoll_GB/s", "winner")
+		cfg.energyHeaders("bytes", "pcie_us", "extoll_us", "pcie_GB/s", "extoll_GB/s", "winner")...)
 	for _, size := range e01Sizes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pcie := pcieTransferTime(size, true)
-		ext := networkTransferTime(size, 2, cfg.fidelity(fabric.FidelityPacket))
+		pcie, pcieJ := pcieTransferTime(size, true)
+		ext, extJ := networkTransferTime(size, 2, cfg.fidelity(fabric.FidelityPacket))
 		winner := "extoll"
 		if pcie < ext {
 			winner = "pcie"
 		}
-		tab.AddRow(size, pcie.Micros(), ext.Micros(), gbps(size, pcie), gbps(size, ext), winner)
+		tab.AddRow(cfg.energyRow(
+			[]any{size, pcie.Micros(), ext.Micros(), gbps(size, pcie), gbps(size, ext), winner},
+			pcieJ+extJ, 0)...)
 	}
 	tab.AddNote("paper: accelerators on PCIe stage through host memory; network-attached boosters avoid the copy")
 	tab.AddNote("expected shape: EXTOLL wins at every size; PCIe gap widens with message size")
+	if cfg.energyOn() {
+		tab.AddNote("energy: both modelled paths per row (the staged PCIe copy pays the per-byte cost twice)")
+	}
 	return tab, nil
 }
 
@@ -81,7 +90,7 @@ func runE01(ctx context.Context, cfg *Config) (*stats.Table, error) {
 func runE03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E03 Communication pressure: host-centric offload vs booster-resident kernel",
-		"halo_KiB", "host_path_us", "booster_path_us", "pcie_crossings_B", "booster_cn_bytes", "speedup")
+		cfg.energyHeaders("halo_KiB", "host_path_us", "booster_path_us", "pcie_crossings_B", "booster_cn_bytes", "speedup")...)
 	for _, halo := range []int{4 << 10, 64 << 10, 512 << 10, 4 << 20} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -89,7 +98,9 @@ func runE03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		// Host-centric: two PCIe crossings plus an InfiniBand hop.
 		eng := sim.New()
 		bus := fabric.NewPCIeBus(eng, fabric.PCIe2x8, 8*fabric.GB, true)
+		bus.SetEnergyModel(fabric.PCIeEnergy)
 		ib := fabric.MustNetwork(eng, topology.NewFatTree(4, 2, 2), fabric.InfiniBandFDR, 1)
+		ib.SetEnergyModel(fabric.InfiniBandEnergy)
 		var hostTime sim.Time
 		bus.Transfer(halo, func(_ sim.Time, err error) {
 			ib.Send(0, 5, halo, func(_ sim.Time, err error) {
@@ -97,13 +108,16 @@ func runE03(ctx context.Context, cfg *Config) (*stats.Table, error) {
 			})
 		})
 		eng.Run()
+		hostJ := bus.EnergyJoules() + ib.EnergyJoules()
 
 		// Booster-resident: one EXTOLL neighbour exchange, nothing
 		// crosses the CN boundary during iterations.
-		boosterTime := networkTransferTime(halo, 1, cfg.fidelity(fabric.FidelityPacket))
+		boosterTime, boosterJ := networkTransferTime(halo, 1, cfg.fidelity(fabric.FidelityPacket))
 
-		tab.AddRow(halo/1024, hostTime.Micros(), boosterTime.Micros(),
-			2*halo, 0, float64(hostTime)/float64(boosterTime))
+		tab.AddRow(cfg.energyRow(
+			[]any{halo / 1024, hostTime.Micros(), boosterTime.Micros(),
+				2 * halo, 0, float64(hostTime) / float64(boosterTime)},
+			hostJ+boosterJ, 0)...)
 	}
 	tab.AddNote("host path crosses PCIe twice per halo; booster-resident kernels keep halos on the EXTOLL torus")
 	tab.AddNote("expected shape: booster-resident wins by >2x at all sizes; CN boundary traffic drops to zero")

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/energy"
+	"repro/internal/machine"
 	"repro/internal/resil"
 	"repro/internal/resource"
 	"repro/internal/rng"
@@ -50,26 +52,42 @@ func e13Workload(size, jobCount int, seed uint64) []*resource.Job {
 }
 
 // e13Ckpt is the checkpoint model every E13 job runs under:
-// buddy-replicated local-SSD checkpoints every 4 s.
+// buddy-replicated local-SSD checkpoints every 4 s; the 30 W I/O
+// draw only matters to metered runs.
 func e13Ckpt() *resil.Checkpoint {
 	return &resil.Checkpoint{
 		Interval:     4 * sim.Second,
 		LocalWrite:   250 * sim.Millisecond,
 		LocalRestore: 250 * sim.Millisecond,
 		Buddy:        true,
+		IOWatts:      30,
 	}
 }
 
 // e13Run schedules the workload on a size-node booster with the given
-// per-node MTBF (0 = perfect machine) and returns the scheduler and
-// the useful nominal work in node-seconds.
-func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uint64) (*resource.Scheduler, float64) {
+// per-node MTBF (0 = perfect machine) and returns the scheduler, the
+// useful nominal work in node-seconds and the energy recorder (nil
+// unmetered).
+func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uint64, meter bool) (*resource.Scheduler, float64, *energy.Recorder) {
 	eng := sim.New()
 	pool := resource.NewPool(size)
 	pool.PartitionOwners(size / 16)
 	s := resource.NewScheduler(eng, pool, mode)
 	s.Backfill = mode == resource.Dynamic
 	s.Ckpt = e13Ckpt()
+	var rec *energy.Recorder
+	if meter {
+		rec = energy.NewRecorder(eng)
+		s.Energy = rec.MustAddGroup("booster", machine.KNC, size)
+		// The injector keeps the engine alive to its horizon; energy
+		// to solution ends at the last job completion.
+		done := 0
+		s.OnJobDone = func(*resource.Job) {
+			if done++; done == jobCount {
+				rec.Freeze()
+			}
+		}
+	}
 	work := 0.0
 	for _, j := range e13Workload(size, jobCount, seed) {
 		work += float64(j.Boosters) * j.Duration.Seconds()
@@ -83,7 +101,7 @@ func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uin
 		}, seed+99, s)
 	}
 	eng.Run()
-	return s, work
+	return s, work, rec
 }
 
 // e13Eff is useful nominal work over delivered capacity.
@@ -99,26 +117,31 @@ func runE13(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	jobs := cfg.scale(80)
 	tab := stats.NewTable(
 		"E13 Job efficiency vs node MTBF, 64-4096 boosters, static vs dynamic",
-		"size/mtbf", "boosters", "node_mtbf_s", "eff_static", "eff_dynamic",
-		"requeues_static", "requeues_dynamic")
+		cfg.energyHeaders("size/mtbf", "boosters", "node_mtbf_s", "eff_static", "eff_dynamic",
+			"requeues_static", "requeues_dynamic")...)
 	for _, size := range e13Sizes {
 		for _, mtbf := range e13MTBFs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			st, workS := e13Run(size, jobs, resource.Static, mtbf, cfg.seed(11))
-			dy, workD := e13Run(size, jobs, resource.Dynamic, mtbf, cfg.seed(11))
+			st, workS, _ := e13Run(size, jobs, resource.Static, mtbf, cfg.seed(11), false)
+			dy, workD, rec := e13Run(size, jobs, resource.Dynamic, mtbf, cfg.seed(11), cfg.energyOn())
 			label := "inf"
 			if mtbf > 0 {
 				label = fmt.Sprintf("%.0f", mtbf)
 			}
-			tab.AddRow(fmt.Sprintf("%d/%s", size, label), size, label,
-				e13Eff(st, workS), e13Eff(dy, workD), int(st.Requeued), int(dy.Requeued))
+			tab.AddRow(cfg.energyRow(
+				[]any{fmt.Sprintf("%d/%s", size, label), size, label,
+					e13Eff(st, workS), e13Eff(dy, workD), int(st.Requeued), int(dy.Requeued)},
+				rec.Joules(), rec.GFlopsPerWatt())...)
 		}
 	}
 	tab.AddNote("%d jobs, Zipf demand in units of size/64 boosters; buddy-SSD checkpoints every 4 s; repair 20 s", jobs)
 	tab.AddNote("expected shape: efficiency flat in MTBF at 64 nodes, collapsing at 4096 (same per-node MTBF)")
 	tab.AddNote("expected shape: dynamic assignment degrades more gracefully than static under failures")
+	if cfg.energyOn() {
+		tab.AddNote("energy: dynamic run to its makespan — completed jobs credit nominal work, rework and checkpoint I/O (30 W) only burn; GFlop/W collapses with efficiency")
+	}
 	return tab, nil
 }
 
@@ -140,19 +163,31 @@ func e14Ckpt(interval float64) *resil.Checkpoint {
 		LocalWrite:   sim.FromSeconds(e14Write),
 		LocalRestore: sim.FromSeconds(e14Restore),
 		Buddy:        true,
+		IOWatts:      30,
 	}
 }
 
 // e14Run completes 48 single-node jobs under exponential node failures
 // with the given checkpoint interval (0 = no checkpointing) and
-// returns the scheduler.
-func e14Run(interval float64, seed uint64) *resource.Scheduler {
+// returns the scheduler and the energy recorder (nil unmetered).
+func e14Run(interval float64, seed uint64, meter bool) (*resource.Scheduler, *energy.Recorder) {
 	eng := sim.New()
 	pool := resource.NewPool(e14Nodes)
 	s := resource.NewScheduler(eng, pool, resource.Dynamic)
 	s.Backfill = true
 	if interval > 0 {
 		s.Ckpt = e14Ckpt(interval)
+	}
+	var rec *energy.Recorder
+	if meter {
+		rec = energy.NewRecorder(eng)
+		s.Energy = rec.MustAddGroup("booster", machine.KNC, e14Nodes)
+		done := 0
+		s.OnJobDone = func(*resource.Job) {
+			if done++; done == e14Nodes {
+				rec.Freeze()
+			}
+		}
 	}
 	for i := 0; i < e14Nodes; i++ {
 		s.Submit(&resource.Job{
@@ -166,7 +201,7 @@ func e14Run(interval float64, seed uint64) *resource.Scheduler {
 		TTR: resil.Fixed{D: 1},
 	}, seed, s)
 	eng.Run()
-	return s
+	return s, rec
 }
 
 // e14MeanWall returns the mean job completion wall time in seconds.
@@ -184,7 +219,7 @@ func runE14(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	young := resil.YoungInterval(delta, e14MTBF)
 	tab := stats.NewTable(
 		"E14 Checkpoint interval sweep vs Daly optimum, 48 boosters, MTBF 25 s",
-		"interval_s", "mean_wall_s", "efficiency", "requeues", "analytic_wall_s")
+		cfg.energyHeaders("interval_s", "mean_wall_s", "efficiency", "requeues", "analytic_wall_s")...)
 	sweep := []struct {
 		label    string
 		interval float64
@@ -200,17 +235,22 @@ func runE14(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s := e14Run(sw.interval, cfg.seed(23))
+		s, rec := e14Run(sw.interval, cfg.seed(23), cfg.energyOn())
 		wall := e14MeanWall(s)
 		analytic := math.NaN()
 		if sw.interval > 0 {
 			analytic = e14Ckpt(sw.interval).ExpectedWallSeconds(e14Work, e14MTBF)
 		}
-		tab.AddRow(sw.label, wall, e14Work/wall, int(s.Requeued), analytic)
+		tab.AddRow(cfg.energyRow(
+			[]any{sw.label, wall, e14Work / wall, int(s.Requeued), analytic},
+			rec.Joules(), rec.GFlopsPerWatt())...)
 	}
 	tab.AddNote("48 single-node jobs of 60 s compute; exponential node MTBF 25 s, repair 1 s; buddy-SSD write 2x0.5 s")
 	tab.AddNote("young interval %.1f s, daly interval %.1f s for delta=1 s", young, daly)
 	tab.AddNote("expected shape: wall time minimised near the Daly interval; too-frequent pays overhead, too-rare pays rework, none pays full restarts")
+	if cfg.energyOn() {
+		tab.AddNote("energy: the interval sweep is U-shaped in joules too — rework and checkpoint I/O both burn watts")
+	}
 	return tab, nil
 }
 

@@ -18,8 +18,8 @@ func runE04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	cluster, booster, deep := machine.DEEPConfigs(512, 4096)
 	tab := stats.NewTable(
 		"E04 Scalability classes and DEEP positioning",
-		"nodes", "regular@booster", "regular@cluster", "complex@cluster",
-		"complex@booster", "mixed@deep")
+		cfg.energyHeaders("nodes", "regular@booster", "regular@cluster", "complex@cluster",
+			"complex@booster", "mixed@deep")...)
 	for _, n := range []int{1, 4, 16, 64, 256, 1024, 4096} {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -32,10 +32,20 @@ func runE04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		// scalable kernel on the booster; efficiency is the geometric
 		// mean of the two placements weighted by where the work lives.
 		mixed := deep.Efficiency(machine.MixedApp, machine.KNC, n)
-		tab.AddRow(n, regB, regC, cxC, cxB, mixed)
+		// Energy of the mixed@deep mapping: the closed-form efficiency
+		// model normalises work to one node-second, so wall time is
+		// 1/(n*eff) and energy n nodes x peak watts x wall — the
+		// sustained GFlop/W is eff x veff x the node's peak GFlop/W.
+		joules := machine.KNC.PeakWatts / mixed
+		flops := machine.KNC.PeakGFlops * 1e9 * machine.MixedApp.VectorEfficiency
+		tab.AddRow(cfg.energyRow([]any{n, regB, regC, cxC, cxB, mixed},
+			joules, gflopsPerWatt(flops, joules))...)
 	}
 	tab.AddNote("regular codes hold efficiency to thousands of nodes; complex codes collapse early")
 	tab.AddNote("expected shape: regular@booster ~ regular@cluster >> complex@*; DEEP's mixed mapping sits between")
+	if cfg.energyOn() {
+		tab.AddNote("energy: joules per normalised node-second of the mixed@deep mapping; falling efficiency is paid directly in GFlop/W")
+	}
 	return tab, nil
 }
 
@@ -47,7 +57,7 @@ func runE04(ctx context.Context, cfg *Config) (*stats.Table, error) {
 func runE12(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	tab := stats.NewTable(
 		"E12 Technology scaling: multi-core vs many-core trajectories",
-		"year", "scalar_GF", "multicore_node_GF", "manycore_node_GF", "system_x_per_decade")
+		cfg.energyHeaders("year", "scalar_GF", "multicore_node_GF", "manycore_node_GF", "system_x_per_decade")...)
 	const (
 		scalar2008    = 4.0  // GFlop/s single thread
 		multicore2008 = 80.0 // node peak
@@ -67,10 +77,18 @@ func runE12(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		manycore := manycore2008 * math.Pow(100, dy/10)
 		// Meuer's law for full systems: x1000/decade.
 		system := math.Pow(1000, dy/10)
-		tab.AddRow(year, scalar, multicore, manycore, system)
+		// Energy at a fixed 300 W node envelope (the power wall): the
+		// joules a many-core node of that year needs for 1 EFlop.
+		const nodeWatts, exaFlops = 300.0, 1e18
+		gfw := manycore / nodeWatts
+		tab.AddRow(cfg.energyRow([]any{year, scalar, multicore, manycore, system},
+			exaFlops/(gfw*1e9), gfw)...)
 	}
 	tab.AddNote("multi-core ceases scaling (x10/decade); many-core tracks Moore (x100/decade);")
 	tab.AddNote("the x1000/decade system growth (Meuer) therefore requires many-core + more nodes - the DEEP premise")
+	if cfg.energyOn() {
+		tab.AddNote("energy: joules per EFlop on the many-core trajectory at a fixed 300 W node — Moore-rate GFlop/W growth is the only way under the power wall")
+	}
 	return tab, nil
 }
 

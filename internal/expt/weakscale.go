@@ -3,6 +3,7 @@ package expt
 import (
 	"context"
 
+	"repro/internal/energy"
 	"repro/internal/fabric"
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -126,7 +127,7 @@ func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
 	// and the determinism regression test holds them to it.
 	tab := stats.NewTable(
 		"E15 Weak scaling on the booster torus, 1k -> 100k nodes",
-		"torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")
+		cfg.energyHeaders("torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")...)
 	var base sim.Time
 	for _, k := range e15Edges {
 		if err := ctx.Err(); err != nil {
@@ -136,6 +137,13 @@ func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		net, tor := machine.BoosterFabric(eng, k, k, k, fid, 2013)
 		n := tor.Nodes()
 		sys := machine.BoosterSystem(n)
+		var rec *energy.Recorder
+		var grp *energy.NodeGroup
+		if cfg.energyOn() {
+			rec = energy.NewRecorder(eng)
+			grp = rec.MustAddGroup("booster", machine.KNC, n)
+			net.SetEnergyModel(fabric.ExtollEnergy)
+		}
 
 		var haloT, reduceT, finish sim.Time
 		var round func(r int)
@@ -150,26 +158,40 @@ func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
 				rstart := eng.Now()
 				e15Reduce(net, tor, func() {
 					reduceT += eng.Now() - rstart
-					eng.After(compute, func() { round(r + 1) })
+					// Compute phase: every node busy on the stencil
+					// kernel; the exchange phases left them idle
+					// (the NIC works, the cores wait).
+					grp.Transition(n, machine.PowerIdle, machine.PowerBusy)
+					grp.AddFlops(float64(n) * e15Kernel.Flops)
+					eng.After(compute, func() {
+						grp.Transition(n, machine.PowerBusy, machine.PowerIdle)
+						round(r + 1)
+					})
 				})
 			})
 		}
 		round(0)
 		eng.Run()
+		rec.Charge("fabric", net.EnergyJoules())
 
 		perRound := finish / sim.Time(rounds)
 		if base == 0 {
 			base = perRound
 		}
-		tab.AddRow(tor.Name(), n, sys.PeakGFlops()/1000,
-			float64(perRound)/float64(sim.Millisecond),
-			(haloT / sim.Time(rounds)).Micros(),
-			(reduceT / sim.Time(rounds)).Micros(),
-			float64(base)/float64(perRound))
+		tab.AddRow(cfg.energyRow(
+			[]any{tor.Name(), n, sys.PeakGFlops() / 1000,
+				float64(perRound) / float64(sim.Millisecond),
+				(haloT / sim.Time(rounds)).Micros(),
+				(reduceT / sim.Time(rounds)).Micros(),
+				float64(base) / float64(perRound)},
+			rec.Joules(), rec.GFlopsPerWatt())...)
 	}
 	tab.AddNote("halo exchange is one message per link and stays flat at any scale (the booster's design point)")
 	tab.AddNote("the global reduction's 3(k-1)-hop critical path grows as n^(1/3): global sync, not halos, erodes weak scaling")
 	tab.AddNote("expected shape: weak_eff decays gently to ~100k nodes; round time stays in the same millisecond decade")
+	if cfg.energyOn() {
+		tab.AddNote("energy: nodes idle during exchanges and busy during the kernel; GFlop/W erodes with weak efficiency as the reduction tail grows")
+	}
 	return tab, nil
 }
 

@@ -126,6 +126,12 @@ func (n *Network) commitFlow(route []topology.LinkID, size int,
 		n.flowBusy[l] += total
 	}
 	n.Stats.FlowMessages++
+	if n.energy.PerByteJ != 0 {
+		// Fault-free route by construction: the per-hop charge equals
+		// what the packet model would have accumulated segment by
+		// segment, keeping energy fidelity-invariant.
+		n.transferJ += n.energy.TransferJ(size, len(route))
+	}
 	id := int64(len(n.flows))
 	n.flows = append(n.flows, flowDone{size: size, fn: done})
 	n.Eng.Schedule(delivery, (*flowCompleter)(n), id, 0)

@@ -45,6 +45,29 @@ type Network struct {
 	flowStarts []sim.Time
 	flows      []flowDone
 	flowsDone  int
+
+	// energy is the electrical model; transferJ accumulates per-byte
+	// link-traversal energy as delivery events fire. Both the packet
+	// path (per segment per hop, retransmissions included) and the
+	// flow path (size x hops at commit) charge it, and the two agree
+	// exactly on fault-free routes — which is all the flow path ever
+	// takes — so energy totals are fidelity-invariant.
+	energy    EnergyModel
+	transferJ float64
+}
+
+// SetEnergyModel attaches an electrical model to the fabric. Call
+// before injecting traffic.
+func (n *Network) SetEnergyModel(e EnergyModel) { n.energy = e }
+
+// EnergyModelOf returns the configured electrical model.
+func (n *Network) EnergyModelOf() EnergyModel { return n.energy }
+
+// EnergyJoules returns the fabric's accumulated energy: transfer
+// energy charged as deliveries fired plus the static draw of every
+// link up to the current virtual time. Zero when no model is set.
+func (n *Network) EnergyJoules() float64 {
+	return n.transferJ + n.energy.IdleJ(n.Topo.Links(), n.Eng.Now())
 }
 
 // NewNetwork builds a network over topo with parameters p. The seed
@@ -232,6 +255,12 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 	link := n.link(l)
 	link.Acquire(n.P.serTime(bytes), func(_, _ sim.Time) {
 		n.Eng.After(n.P.RouterDelay+n.P.LinkLatency, func() {
+			if n.energy.PerByteJ != 0 {
+				// The bytes crossed the link whether or not the CRC
+				// rejects them at the far end: retransmissions burn
+				// energy, which is exactly what E10's inflation shows.
+				n.transferJ += n.energy.PerByteJ * float64(bytes)
+			}
 			corrupted := n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate)
 			if n.down[l] {
 				// A failed link delivers nothing: the CRC handshake

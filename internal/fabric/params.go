@@ -89,6 +89,47 @@ func (p *Params) serTime(n int) sim.Time {
 // GB is a convenience for bandwidth constants in bytes/second.
 const GB = 1e9
 
+// EnergyModel describes a fabric's electrical cost: a per-byte
+// transfer energy charged per link traversal as delivery events fire,
+// plus an always-on per-link idle draw (serdes never sleep). The zero
+// model is disabled and costs nothing — energy-off runs stay
+// byte-identical and pay no bookkeeping.
+type EnergyModel struct {
+	// PerByteJ is the energy to move one byte across one link
+	// (serdes + router port), in joules.
+	PerByteJ float64
+	// LinkIdleWatts is the static draw of one link.
+	LinkIdleWatts float64
+}
+
+// Enabled reports whether the model charges anything.
+func (e EnergyModel) Enabled() bool { return e.PerByteJ > 0 || e.LinkIdleWatts > 0 }
+
+// TransferJ returns the transfer energy of bytes crossing hops links.
+func (e EnergyModel) TransferJ(bytes, hops int) float64 {
+	return e.PerByteJ * float64(bytes) * float64(hops)
+}
+
+// IdleJ returns the static link energy over a run of duration d.
+func (e EnergyModel) IdleJ(links int, d sim.Time) float64 {
+	return e.LinkIdleWatts * float64(links) * d.Seconds()
+}
+
+// Period-plausible 2013 fabric energy presets. Serdes of the era land
+// at 5-20 pJ/bit, i.e. 0.04-0.16 nJ/byte per traversal; router ports
+// and link idle power put EXTOLL and IB links in the low single-digit
+// watts. The ratios (IB link hungrier than EXTOLL, PCIe cheapest per
+// link but staged transfers cross twice) carry the experiments.
+var (
+	// ExtollEnergy models one EXTOLL torus link.
+	ExtollEnergy = EnergyModel{PerByteJ: 0.10e-9, LinkIdleWatts: 1.2}
+	// InfiniBandEnergy models one IB FDR fat-tree link.
+	InfiniBandEnergy = EnergyModel{PerByteJ: 0.15e-9, LinkIdleWatts: 2.0}
+	// PCIeEnergy models the accelerator attachment bus; staged
+	// transfers additionally pay the host-memory copy.
+	PCIeEnergy = EnergyModel{PerByteJ: 0.08e-9, LinkIdleWatts: 0.8}
+)
+
 // Presets for the fabrics discussed in the paper. Absolute values are
 // period-plausible (2013) and chosen so the qualitative relations the
 // paper asserts hold: InfiniBand is "as fast as PCIe besides latency";

@@ -27,6 +27,21 @@ type PCIeBus struct {
 	Transfers   uint64
 	BytesMoved  uint64
 	StagingTime sim.Time
+
+	// energy is the electrical model; transferJ accumulates as
+	// transfers fire. A staged transfer pays the per-byte cost twice:
+	// once for the host-memory copy, once for the bus crossing.
+	energy    EnergyModel
+	transferJ float64
+}
+
+// SetEnergyModel attaches an electrical model to the bus.
+func (b *PCIeBus) SetEnergyModel(e EnergyModel) { b.energy = e }
+
+// EnergyJoules returns the bus's accumulated energy: per-byte
+// transfer charges plus the static draw of the single bus link.
+func (b *PCIeBus) EnergyJoules() float64 {
+	return b.transferJ + b.energy.IdleJ(1, b.Eng.Now())
 }
 
 // NewPCIeBus returns a bus with parameters p.
@@ -52,6 +67,13 @@ func (b *PCIeBus) Transfer(size int, done func(at sim.Time, err error)) {
 	}
 	b.Transfers++
 	b.BytesMoved += uint64(size)
+	if b.energy.PerByteJ != 0 {
+		crossings := 1
+		if b.Staged {
+			crossings = 2 // staging copy through host memory, then the bus
+		}
+		b.transferJ += b.energy.TransferJ(size, crossings)
+	}
 	start := func() {
 		b.Eng.After(b.P.SendOverhead, func() {
 			b.bus.Acquire(b.P.serTime(size), func(_, _ sim.Time) {

@@ -41,6 +41,39 @@ func (k NodeKind) String() string {
 	}
 }
 
+// PowerState is one of the node's discrete power states. The energy
+// layer accumulates joules as components publish state transitions
+// into an energy.Recorder while simulation events fire.
+type PowerState int
+
+// The node power states, ordered by draw.
+const (
+	// PowerSleep is the deep-sleep (power-gated) state: the node is
+	// unavailable for work and wakes only after WakeLatency.
+	PowerSleep PowerState = iota
+	// PowerIdle is powered-on but doing no work.
+	PowerIdle
+	// PowerBusy is executing; draw is PeakWatts (or Power(u) for a
+	// partially utilised node).
+	PowerBusy
+	// NumPowerStates sizes per-state accounting arrays.
+	NumPowerStates
+)
+
+// String implements fmt.Stringer.
+func (s PowerState) String() string {
+	switch s {
+	case PowerSleep:
+		return "sleep"
+	case PowerIdle:
+		return "idle"
+	case PowerBusy:
+		return "busy"
+	default:
+		return fmt.Sprintf("power-state-%d", int(s))
+	}
+}
+
 // NodeModel is the analytic performance/power model of one node.
 type NodeModel struct {
 	Kind NodeKind
@@ -59,6 +92,15 @@ type NodeModel struct {
 	// interpolates linearly with utilisation.
 	IdleWatts float64
 	PeakWatts float64
+	// SleepWatts is the deep-sleep (power-gated) draw; at most
+	// IdleWatts.
+	SleepWatts float64
+	// WakeLatency is the sleep -> idle/busy transition time: a
+	// power-gated booster is not instantly available, which is the
+	// latency/energy trade the gating scheduler exposes.
+	WakeLatency sim.Time
+	// SleepLatency is the idle -> sleep transition time.
+	SleepLatency sim.Time
 }
 
 // Validate reports whether the model is self-consistent.
@@ -76,7 +118,27 @@ func (m *NodeModel) Validate() error {
 	if m.IdleWatts < 0 || m.PeakWatts < m.IdleWatts {
 		return fmt.Errorf("machine: %v has inconsistent power bounds", m.Kind)
 	}
+	if m.SleepWatts < 0 || m.SleepWatts > m.IdleWatts {
+		return fmt.Errorf("machine: %v sleep draw %.1f W outside [0, idle %.1f W]",
+			m.Kind, m.SleepWatts, m.IdleWatts)
+	}
+	if m.WakeLatency < 0 || m.SleepLatency < 0 {
+		return fmt.Errorf("machine: %v has negative power-state transition latency", m.Kind)
+	}
 	return nil
+}
+
+// StateWatts returns the draw in the given power state: SleepWatts,
+// IdleWatts, or PeakWatts. Partially utilised busy nodes use Power.
+func (m *NodeModel) StateWatts(s PowerState) float64 {
+	switch s {
+	case PowerSleep:
+		return m.SleepWatts
+	case PowerIdle:
+		return m.IdleWatts
+	default:
+		return m.PeakWatts
+	}
 }
 
 // EnergyEfficiency returns the node's peak GFlop/W.
@@ -173,6 +235,9 @@ var (
 		MemBandwidth: 80 * 1e9,
 		IdleWatts:    120,
 		PeakWatts:    350,
+		SleepWatts:   30, // package C6 + spinning fans/VRs
+		WakeLatency:  2 * sim.Millisecond,
+		SleepLatency: 200 * sim.Microsecond,
 	}
 	// KNC is a Xeon Phi 5110P-class booster node (card + minimal
 	// carrier infrastructure).
@@ -184,6 +249,9 @@ var (
 		MemBandwidth: 160 * 1e9,
 		IdleWatts:    90,
 		PeakWatts:    245, // card + board: ~5 GFlop/W within DEEP envelope
+		SleepWatts:   20,  // card PCIe-D3-style gate; carrier stays on
+		WakeLatency:  10 * sim.Millisecond,
+		SleepLatency: 500 * sim.Microsecond,
 	}
 	// XeonGPU is a cluster node with one PCIe GPU (K20-class): the
 	// "cluster with accelerators" baseline.
@@ -195,5 +263,8 @@ var (
 		MemBandwidth: 200 * 1e9,
 		IdleWatts:    160,
 		PeakWatts:    575,
+		SleepWatts:   45, // host C6 + GPU D3
+		WakeLatency:  5 * sim.Millisecond,
+		SleepLatency: 300 * sim.Microsecond,
 	}
 )

@@ -189,3 +189,36 @@ func TestNodeKindString(t *testing.T) {
 		t.Fatal("unknown kind should still render")
 	}
 }
+
+func TestPowerStates(t *testing.T) {
+	for _, m := range []NodeModel{Xeon, KNC, XeonGPU} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if m.StateWatts(PowerSleep) != m.SleepWatts ||
+			m.StateWatts(PowerIdle) != m.IdleWatts ||
+			m.StateWatts(PowerBusy) != m.PeakWatts {
+			t.Fatalf("%v: StateWatts disagrees with the model fields", m.Kind)
+		}
+		if !(m.SleepWatts < m.IdleWatts && m.IdleWatts < m.PeakWatts) {
+			t.Fatalf("%v: power states not ordered: %v/%v/%v",
+				m.Kind, m.SleepWatts, m.IdleWatts, m.PeakWatts)
+		}
+		if m.WakeLatency <= 0 || m.SleepLatency <= 0 {
+			t.Fatalf("%v: missing power-state transition latencies", m.Kind)
+		}
+		if m.WakeLatency < m.SleepLatency {
+			t.Fatalf("%v: waking should cost more than dropping to sleep", m.Kind)
+		}
+	}
+	bad := Xeon
+	bad.SleepWatts = bad.IdleWatts + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("sleep draw above idle accepted")
+	}
+	bad = KNC
+	bad.WakeLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative wake latency accepted")
+	}
+}

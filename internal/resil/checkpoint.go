@@ -38,6 +38,10 @@ type Checkpoint struct {
 	// Buddy replicates local checkpoints to a partner node (2x
 	// LocalWrite) so they survive the loss of their own node.
 	Buddy bool
+	// IOWatts is the extra per-node draw while checkpoint or restore
+	// I/O is in flight (SSD + filesystem traffic on top of the node's
+	// own state power). Zero disables I/O energy accounting.
+	IOWatts float64
 }
 
 // Validate reports a descriptive error for a malformed model.
@@ -53,6 +57,9 @@ func (c *Checkpoint) Validate() error {
 	}
 	if c.GlobalEvery == 0 && !c.Buddy {
 		return fmt.Errorf("resil: local-only checkpoints without Buddy cannot survive a node failure")
+	}
+	if c.IOWatts < 0 {
+		return fmt.Errorf("resil: negative checkpoint I/O power %v", c.IOWatts)
 	}
 	return nil
 }
@@ -100,6 +107,17 @@ func (c *Checkpoint) RunWall(work sim.Time) sim.Time {
 
 // Overhead returns RunWall(work) - work.
 func (c *Checkpoint) Overhead(work sim.Time) sim.Time { return c.RunWall(work) - work }
+
+// IOEnergyJ returns the checkpoint/restore I/O energy of io wall time
+// spent writing or restoring on nodes nodes: the extra joules the
+// resilience layer charges into an energy.Recorder on top of the
+// nodes' busy draw.
+func (c *Checkpoint) IOEnergyJ(io sim.Time, nodes int) float64 {
+	if io <= 0 {
+		return 0
+	}
+	return c.IOWatts * io.Seconds() * float64(nodes)
+}
 
 // Progress returns, for a run killed `elapsed` wall time after its
 // compute started, the compute progress recoverable after a node

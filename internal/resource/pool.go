@@ -77,6 +77,12 @@ func NewTorusPool(t *topology.Torus3D) *Pool {
 // Size returns the total node count.
 func (p *Pool) Size() int { return len(p.state) }
 
+// State returns node id's current lifecycle state.
+func (p *Pool) State(id int) NodeState {
+	p.checkID(id)
+	return p.state[id]
+}
+
 // Free returns the number of free nodes.
 func (p *Pool) Free() int { return p.free }
 

@@ -3,6 +3,8 @@ package resource
 import (
 	"fmt"
 
+	"repro/internal/energy"
+	"repro/internal/machine"
 	"repro/internal/resil"
 	"repro/internal/sim"
 )
@@ -34,6 +36,11 @@ type Job struct {
 	attempt      int      // bumped on kill; invalidates the pending finish
 	attemptStart sim.Time
 	wallPlanned  sim.Time // planned wall of the current attempt
+	// startOverhead is the non-compute prefix of the current attempt
+	// (restore + wake latency); ioPlanned the checkpoint/restore I/O
+	// share of the planned wall, for energy attribution.
+	startOverhead sim.Time
+	ioPlanned     sim.Time
 }
 
 // Wait returns the job's queueing delay.
@@ -83,6 +90,28 @@ type Scheduler struct {
 	Requeued uint64
 	LostWork sim.Time
 
+	// Energy, when non-nil, is the booster node group the scheduler
+	// publishes power-state transitions into as jobs start, finish and
+	// are killed; checkpoint I/O energy is charged into its recorder
+	// under "checkpoint-io", and each *completed* job credits its
+	// nominal node-seconds at peak rate as useful flops — rework of
+	// killed attempts, checkpoint writes and wake latency draw power
+	// without producing flops, so GFlop/W degrades exactly when
+	// efficiency does. Nil (the default) keeps the scheduler
+	// byte-identical to the unmetered one.
+	Energy *energy.NodeGroup
+	// OnJobDone, when non-nil, fires as each job completes — the hook
+	// energy-metered experiments use to freeze the recorder at the
+	// makespan when a fault injector keeps the engine alive past it.
+	OnJobDone func(*Job)
+	// GateIdle power-gates free boosters: released nodes drop to the
+	// sleep state and every allocation pays WakeLatency before compute
+	// starts — the latency/energy trade of the self-healing pool.
+	// Enable through PowerGate so already-free nodes are put to sleep.
+	GateIdle bool
+	// WakeLatency is the sleep -> busy penalty of a gated allocation.
+	WakeLatency sim.Time
+
 	queue     []*Job
 	completed []*Job
 	busyArea  float64      // node-seconds of booster occupancy
@@ -93,6 +122,36 @@ type Scheduler struct {
 // NewScheduler returns a scheduler over the pool.
 func NewScheduler(eng *sim.Engine, pool *Pool, mode AssignMode) *Scheduler {
 	return &Scheduler{Eng: eng, Pool: pool, Mode: mode, Policy: FirstFit}
+}
+
+// PowerGate enables idle-booster power gating with the given wake
+// latency (zero uses the energy group's node model latency). Call
+// after setting Energy and before submitting jobs: every currently
+// free node is put to sleep.
+func (s *Scheduler) PowerGate(wake sim.Time) {
+	s.GateIdle = true
+	if wake == 0 && s.Energy != nil {
+		wake = s.Energy.Model.WakeLatency
+	}
+	s.WakeLatency = wake
+	s.Energy.Transition(s.Pool.Free(), machine.PowerIdle, machine.PowerSleep)
+}
+
+// releaseState is the power state free nodes sit in.
+func (s *Scheduler) releaseState() machine.PowerState {
+	if s.GateIdle {
+		return machine.PowerSleep
+	}
+	return machine.PowerIdle
+}
+
+// chargeIO publishes the checkpoint/restore I/O energy of io wall
+// time on n nodes into the energy recorder.
+func (s *Scheduler) chargeIO(io sim.Time, n int) {
+	if s.Ckpt == nil || s.Energy == nil {
+		return
+	}
+	s.Energy.Recorder().Charge("checkpoint-io", s.Ckpt.IOEnergyJ(io, n))
 }
 
 // Submit schedules the job's arrival.
@@ -146,9 +205,21 @@ func (s *Scheduler) tryAlloc(j *Job) bool {
 	s.markStart(j)
 	work := stretch(j.remaining, j.Boosters, len(ids))
 	wall := work
+	j.startOverhead = 0
+	j.ioPlanned = 0
 	if s.Ckpt != nil {
 		wall = j.restore + s.Ckpt.RunWall(work)
+		j.startOverhead = j.restore
+		j.ioPlanned = wall - work // checkpoint writes + restore
 	}
+	if s.GateIdle {
+		// Gated nodes wake before compute can start; the wake counts
+		// as occupancy (the node draws power ramping up) but not as
+		// compute progress.
+		wall += s.WakeLatency
+		j.startOverhead += s.WakeLatency
+	}
+	s.Energy.Transition(len(ids), s.releaseState(), machine.PowerBusy)
 	j.wallPlanned = wall
 	if s.running == nil {
 		s.running = make(map[int]*Job)
@@ -183,13 +254,24 @@ func (s *Scheduler) finishAt(j *Job, dur sim.Time) {
 		j.End = s.Eng.Now()
 		j.remaining = 0
 		if j.nodes != nil {
+			s.Energy.Transition(len(j.nodes), machine.PowerBusy, s.releaseState())
+			s.chargeIO(j.ioPlanned, len(j.nodes))
 			for _, id := range j.nodes {
 				delete(s.running, id)
 			}
 			s.Pool.Release(j.nodes)
 			j.nodes = nil
 		}
+		if s.Energy != nil {
+			// The completed job delivered its nominal work, however many
+			// attempts it took: Boosters nodes at peak for Duration.
+			s.Energy.AddFlops(s.Energy.Model.PeakGFlops * 1e9 *
+				float64(j.Boosters) * j.Duration.Seconds())
+		}
 		s.completed = append(s.completed, j)
+		if s.OnJobDone != nil {
+			s.OnJobDone(j)
+		}
 		s.dispatch()
 	})
 }
@@ -202,7 +284,11 @@ func (s *Scheduler) NodeFailed(id int) {
 		s.kill(j)
 	}
 	// After the kill the node is free; a repeated failure while already
-	// down is ignored.
+	// down is ignored. A down node is modelled at sleep draw (it is
+	// powered off for repair).
+	if s.Energy != nil && s.Pool.State(id) == NodeFree && !s.GateIdle {
+		s.Energy.Transition(1, machine.PowerIdle, machine.PowerSleep)
+	}
 	_ = s.Pool.MarkDown(id)
 	s.dispatch()
 }
@@ -210,7 +296,9 @@ func (s *Scheduler) NodeFailed(id int) {
 // NodeRepaired implements resil.NodeTarget: the node rejoins the pool
 // and the queue is re-dispatched (self-healing).
 func (s *Scheduler) NodeRepaired(id int) {
-	_ = s.Pool.Repair(id)
+	if err := s.Pool.Repair(id); err == nil && s.Energy != nil && !s.GateIdle {
+		s.Energy.Transition(1, machine.PowerSleep, machine.PowerIdle)
+	}
 	s.dispatch()
 }
 
@@ -223,9 +311,15 @@ func (s *Scheduler) kill(j *Job) {
 	got := len(j.nodes)
 	// Return the occupancy this attempt will no longer use.
 	s.busyArea -= float64(got) * (j.wallPlanned - elapsed).Seconds()
+	s.Energy.Transition(got, machine.PowerBusy, s.releaseState())
+	if j.wallPlanned > 0 {
+		// Charge the I/O share of the elapsed wall: the attempt's
+		// checkpoint writes were interleaved with its compute.
+		s.chargeIO(sim.Time(float64(elapsed)*float64(j.ioPlanned)/float64(j.wallPlanned)), got)
+	}
 	var savedWall sim.Time
 	if s.Ckpt != nil {
-		if computeElapsed := elapsed - j.restore; computeElapsed > 0 {
+		if computeElapsed := elapsed - j.startOverhead; computeElapsed > 0 {
 			saved, restore := s.Ckpt.Progress(computeElapsed)
 			if saved > 0 {
 				savedWall = saved

@@ -15,6 +15,18 @@ type Table struct {
 	// Notes are free-text lines printed under the table (paper-vs-
 	// measured commentary).
 	Notes []string
+	// Summary carries machine-readable run totals (e.g. "joules") for
+	// programmatic consumers — the bench harness's energy regression
+	// gate reads it. It is never rendered in text or CSV output.
+	Summary map[string]float64
+}
+
+// SetSummary records one machine-readable run total.
+func (t *Table) SetSummary(key string, v float64) {
+	if t.Summary == nil {
+		t.Summary = make(map[string]float64)
+	}
+	t.Summary[key] = v
 }
 
 // NewTable returns a table with the given title and column headers.
