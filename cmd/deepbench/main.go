@@ -14,6 +14,7 @@
 //	deepbench -list                # show the registry
 //	deepbench -bench 5 -run E15    # wall-clock benchmark, best of 5
 //	deepbench -bench 3 -json       # benchmark all, write BENCH_<id>.json
+//	deepbench -run E13 -trace t.json -metrics m.csv   # observability exports
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -106,6 +108,23 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 	return nil
 }
 
+// writeFile streams a report export into path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 func main() {
 	var (
 		runFlag      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
@@ -119,6 +138,9 @@ func main() {
 		energyFlag   = flag.Bool("energy", false, "append joules / GFlop/W columns to every experiment (event-driven energy recorder)")
 		benchFlag    = flag.Int("bench", 0, "benchmark mode: time each experiment over N repetitions (best-of)")
 		benchDirFlag = flag.String("benchdir", ".", "directory for BENCH_<id>.json files in -bench -json mode")
+		traceFlag    = flag.String("trace", "", "write a Chrome trace-event JSON of every run to this file")
+		metricsFlag  = flag.String("metrics", "", "write sampled metrics timeseries CSV to this file")
+		sampleFlag   = flag.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
 	)
 	flag.Parse()
 
@@ -154,8 +176,16 @@ func main() {
 	defer stop()
 
 	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity, Energy: *energyFlag}
+	runner.Tracing = *traceFlag != ""
+	if *metricsFlag != "" {
+		runner.MetricsEvery = *sampleFlag
+	}
 
 	if *benchFlag > 0 {
+		if runner.Tracing || runner.MetricsEvery > 0 {
+			fmt.Fprintln(os.Stderr, "deepbench: -trace/-metrics cannot be combined with -bench (observation would skew the timings)")
+			os.Exit(1)
+		}
 		if err := runBench(ctx, runner, ids, *benchFlag, *jsonFlag, *benchDirFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
 			os.Exit(1)
@@ -167,6 +197,18 @@ func main() {
 	if rep == nil {
 		fmt.Fprintf(os.Stderr, "deepbench: %v (try -list)\n", runErr)
 		os.Exit(1)
+	}
+	if *traceFlag != "" {
+		if err := writeFile(*traceFlag, rep.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsFlag != "" {
+		if err := writeFile(*metricsFlag, rep.WriteMetricsCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var sink deep.Sink = deep.TableSink{}

@@ -9,31 +9,76 @@
 //	deeprun -app stencil -nx 64 -ny 64 -iters 20 -ranks 8
 //	deeprun -app nbody -n 64 -iters 10 -ranks 4
 //	deeprun -app spmv -ranks 4 -energy
+//	deeprun -app jobs -jobs 24 -dynamic -mtbf 120 -trace t.json -metrics m.csv
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"os/signal"
 
 	"repro/deep"
 )
 
+// syntheticJobs builds a seeded synthetic booster job mix for the
+// "jobs" app: staggered arrivals, 2-8 s durations, power-of-two
+// booster demands across four owners.
+func syntheticJobs(n int, seed uint64) []deep.Job {
+	r := rand.New(rand.NewSource(int64(seed)))
+	jobs := make([]deep.Job, n)
+	for i := range jobs {
+		jobs[i] = deep.Job{
+			ID:       i,
+			Arrival:  float64(i) * 0.25,
+			Duration: 2 + r.Float64()*6,
+			Boosters: 1 << r.Intn(4),
+			Owner:    i % 4,
+		}
+	}
+	return jobs
+}
+
+// writeFile streams an export into path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 func main() {
 	var (
-		app     = flag.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody")
-		n       = flag.Int("n", 64, "cholesky matrix dimension / nbody body count")
-		ts      = flag.Int("ts", 16, "cholesky tile size")
-		workers = flag.Int("workers", 8, "cholesky OmpSs workers")
-		nx      = flag.Int("nx", 32, "grid X dimension")
-		ny      = flag.Int("ny", 32, "grid Y dimension")
-		iters   = flag.Int("iters", 10, "iterations")
-		ranks   = flag.Int("ranks", 4, "MPI ranks")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		fidStr  = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
-		energy  = flag.Bool("energy", false, "report energy to solution (joules, per-group breakdown)")
+		app      = flag.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody | jobs")
+		n        = flag.Int("n", 64, "cholesky matrix dimension / nbody body count")
+		ts       = flag.Int("ts", 16, "cholesky tile size")
+		workers  = flag.Int("workers", 8, "cholesky OmpSs workers")
+		nx       = flag.Int("nx", 32, "grid X dimension")
+		ny       = flag.Int("ny", 32, "grid Y dimension")
+		iters    = flag.Int("iters", 10, "iterations")
+		ranks    = flag.Int("ranks", 4, "MPI ranks")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		fidStr   = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+		energy   = flag.Bool("energy", false, "report energy to solution (joules, per-group breakdown)")
+		jobCount = flag.Int("jobs", 24, "jobs: number of synthetic jobs to schedule")
+		dynamic  = flag.Bool("dynamic", false, "jobs: draw boosters from the shared pool instead of static ownership")
+		mtbf     = flag.Float64("mtbf", 0, "jobs: per-node MTBF in seconds (0: no fault injection)")
+		boosters = flag.Int("boosters", 16, "jobs: booster pool size")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metrics  = flag.String("metrics", "", "write sampled metrics timeseries CSV to this file")
+		sample   = flag.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
 	)
 	flag.Parse()
 
@@ -53,6 +98,8 @@ func main() {
 		w = deep.Stencil{NX: *nx, NY: *ny, Iters: *iters}
 	case "nbody":
 		w = deep.NBody{N: *n, Steps: *iters}
+	case "jobs":
+		w = deep.ScheduledJobs{Jobs: syntheticJobs(*jobCount, *seed), Dynamic: *dynamic}
 	default:
 		fmt.Fprintf(os.Stderr, "deeprun: unknown app %q\n", *app)
 		os.Exit(1)
@@ -67,8 +114,20 @@ func main() {
 		deep.WithSeed(*seed),
 		deep.WithFidelity(fid),
 	}
+	if *app == "jobs" {
+		opts = append(opts, deep.WithBoosterNodes(*boosters))
+		if *mtbf > 0 {
+			opts = append(opts, deep.WithFaultInjector(deep.FaultPlan{NodeMTBF: *mtbf, Repair: 5}))
+		}
+	}
 	if *energy {
 		opts = append(opts, deep.WithEnergyMetering())
+	}
+	if *trace != "" {
+		opts = append(opts, deep.WithTracing())
+	}
+	if *metrics != "" {
+		opts = append(opts, deep.WithMetrics(*sample))
 	}
 	m, err := deep.NewMachine(opts...)
 	if err != nil {
@@ -87,6 +146,26 @@ func main() {
 	if err := res.WriteText(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
 		os.Exit(1)
+	}
+	if *trace != "" {
+		if res.Trace == nil {
+			fmt.Fprintf(os.Stderr, "deeprun: %s recorded no trace\n", *app)
+			os.Exit(1)
+		}
+		if err := writeFile(*trace, res.Trace.WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if res.Series == nil {
+			fmt.Fprintf(os.Stderr, "deeprun: %s recorded no metrics (only engine-backed apps like jobs sample)\n", *app)
+			os.Exit(1)
+		}
+		if err := writeFile(*metrics, res.Series.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if !res.Verified {
 		os.Exit(1)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cbp"
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -91,6 +92,8 @@ type Machine struct {
 	wakeSeconds    float64
 	clusterPower   *PowerModel
 	boosterPower   *PowerModel
+	tracing        bool
+	metricsEvery   float64
 }
 
 // PowerModel overrides a node class's electrical parameters. Zero
@@ -212,6 +215,23 @@ func WithPowerGating(wakeSeconds float64) Option {
 	return func(m *Machine) { m.powerGate = true; m.wakeSeconds = wakeSeconds }
 }
 
+// WithTracing records a virtual-time trace of every engine-backed
+// workload run — job lifecycle spans from the scheduler, fault and
+// checkpoint spans from the resilience layer, message spans from the
+// fabric, power transitions from the energy layer — surfaced as
+// Result.Trace in Chrome trace-event format (chrome://tracing). Off
+// by default: untraced runs are byte-identical to previous releases.
+func WithTracing() Option { return func(m *Machine) { m.tracing = true } }
+
+// WithMetrics samples observability metrics (queue depth, free
+// nodes, kernel event counters, ...) every sampleSeconds of virtual
+// time into Result.Series. Sampling rides the engine's clock-advance
+// probe, so it cannot perturb what the simulation computes. Zero or
+// negative disables sampling.
+func WithMetrics(sampleSeconds float64) Option {
+	return func(m *Machine) { m.metricsEvery = sampleSeconds }
+}
+
 // WithClusterPowerModel overrides the cluster-side (Xeon) electrical
 // parameters.
 func WithClusterPowerModel(p PowerModel) Option {
@@ -264,6 +284,9 @@ func NewMachine(opts ...Option) (*Machine, error) {
 	if m.wakeSeconds < 0 {
 		return nil, fmt.Errorf("deep: negative wake latency %v s", m.wakeSeconds)
 	}
+	if m.metricsEvery < 0 {
+		return nil, fmt.Errorf("deep: negative metrics sampling interval %v s", m.metricsEvery)
+	}
 	for side, model := range map[string]machine.NodeModel{
 		"cluster": m.clusterNodeModel(), "booster": m.boosterNodeModel(),
 	} {
@@ -291,6 +314,19 @@ func (m *Machine) boosterNodeModel() machine.NodeModel {
 // EnergyMetered reports whether the machine publishes energy
 // telemetry (WithEnergyMetering).
 func (m *Machine) EnergyMetered() bool { return m.energy }
+
+// Tracing reports whether the machine records virtual-time traces.
+func (m *Machine) Tracing() bool { return m.tracing }
+
+// MetricsEvery returns the metrics sampling cadence in virtual
+// seconds (0 when sampling is off).
+func (m *Machine) MetricsEvery() float64 { return m.metricsEvery }
+
+// observer builds the machine's observability hub for one workload
+// run; nil — the inert hub — when both tracing and metrics are off.
+func (m *Machine) observer() *obs.Observer {
+	return obs.New(m.tracing, sim.FromSeconds(m.metricsEvery))
+}
 
 // ClusterNodes returns the cluster side size.
 func (m *Machine) ClusterNodes() int { return m.clusterNodes }

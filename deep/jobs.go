@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cbp"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -127,16 +128,43 @@ func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
 			IOWatts:      c.IOWatts,
 		}
 	}
+	o := m.observer()
+	run := o.Observe("scheduled-jobs", eng)
+	sched.Obs = run.Scope()
+	var waitHist *obs.Histogram
+	if reg := run.Metrics(); reg != nil {
+		reg.Gauge("queue_depth", "jobs", func() float64 { return float64(sched.QueueLen()) })
+		reg.Gauge("free_boosters", "nodes", func() float64 { return float64(pool.Free()) })
+		reg.Gauge("requeues", "", func() float64 { return float64(sched.Requeued) })
+		reg.Gauge("lost_work_s", "s", func() float64 { return sched.LostWork.Seconds() })
+		waitHist = reg.Histogram("job_wait_s", "s", 0.01, 0.1, 1, 10, 100)
+	}
+	var onDone []func(*resource.Job)
+	if waitHist != nil {
+		onDone = append(onDone, func(j *resource.Job) {
+			waitHist.Observe((j.Start - j.Arrival).Seconds())
+		})
+	}
 	var rec *energy.Recorder
 	if m.energy {
 		rec = energy.NewRecorder(eng)
 		sched.Energy = rec.MustAddGroup("booster", m.boosterNodeModel(), pool.Size())
+		sched.Energy.Obs = run.Scope()
+		sched.Energy.ObsTid = obs.LanePower
 		// A fault injector keeps the engine alive to its horizon;
 		// energy to solution ends when the last job completes.
 		done := 0
-		sched.OnJobDone = func(*resource.Job) {
+		onDone = append(onDone, func(*resource.Job) {
 			if done++; done == len(s.Jobs) {
 				rec.Freeze()
+			}
+		})
+	}
+	if len(onDone) > 0 {
+		hooks := onDone
+		sched.OnJobDone = func(j *resource.Job) {
+			for _, f := range hooks {
+				f(j)
 			}
 		}
 	}
@@ -174,12 +202,14 @@ func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
 			ttf = resil.Weibull{Shape: f.WeibullShape, Scale: f.NodeMTBF}
 		}
 		inj = resil.NewInjector(eng, sim.FromSeconds(horizon))
+		inj.Obs = run.Scope()
 		inj.Nodes(pool.Size(), resil.Faults{
 			TTF: ttf,
 			TTR: resil.Fixed{D: f.Repair},
 		}, seed, sched)
 	}
 	eng.Run()
+	run.Close()
 
 	completed := len(sched.Completed())
 	mode_ := "static"
@@ -206,6 +236,11 @@ func (s ScheduledJobs) Run(ctx context.Context, env *Env) (*Result, error) {
 		res.addMetric("joules", rec.Joules(), "J")
 		res.addMetric("gflops_per_watt", rec.GFlopsPerWatt(), "")
 	}
+	res.Kernel = kernelStats(eng.Stats())
+	if o.Tracing() {
+		res.Trace = &TraceData{trace: o.Trace()}
+	}
+	res.Series = metricsReport(run.Metrics(), o.SampleEvery())
 	// Verification for a scheduling run: every submitted job completed.
 	res.Verified = completed == len(s.Jobs)
 	if !res.Verified {

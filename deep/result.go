@@ -59,6 +59,17 @@ type Result struct {
 	// machines built with WithEnergyMetering (unmetered output is
 	// byte-identical to previous releases).
 	Energy *EnergyReport `json:"energy,omitempty"`
+	// Kernel is the simulation kernel's scheduler counters, present
+	// for workloads that own a discrete-event engine (ScheduledJobs);
+	// nil for analytic cost-model workloads.
+	Kernel *KernelStats `json:"kernel,omitempty"`
+	// Trace is the run's virtual-time trace, present only on machines
+	// built with WithTracing. It is deliberately outside the JSON
+	// form; export it with Trace.WriteChrome.
+	Trace *TraceData `json:"-"`
+	// Series is the run's sampled metrics timeseries, present only on
+	// machines built with WithMetrics.
+	Series *MetricsReport `json:"timeseries,omitempty"`
 }
 
 // EnergyReport is the structured energy block of a metered run.
@@ -172,6 +183,16 @@ func (r *Result) WriteText(w io.Writer) error {
 		for _, c := range e.Charges {
 			fmt.Fprintf(&b, "    %s = %.4g J\n", c.Name, c.Value)
 		}
+	}
+	if k := r.Kernel; k != nil {
+		fmt.Fprintf(&b, "  kernel: %d events, max queue %d, pool hit %.2f\n",
+			k.ExecutedEvents, k.MaxQueueDepth, k.PoolHitRate)
+	}
+	if t := r.Trace; t != nil {
+		fmt.Fprintf(&b, "  trace: %d events\n", t.Events())
+	}
+	if s := r.Series; s != nil {
+		fmt.Fprintf(&b, "  metrics: %d series x %d samples\n", len(s.Series), len(s.TimesS))
 	}
 	if r.Checked {
 		fmt.Fprintf(&b, "  max error = %.3e (tol %.1e)\n", r.MaxError, r.Tol)

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -76,6 +78,30 @@ type RunResult struct {
 // execution interleaving.
 type Report struct {
 	Results []RunResult
+
+	// obs is the observability hub the runs recorded into; nil unless
+	// the Runner enabled tracing or metrics.
+	obs *obs.Observer
+}
+
+// WriteChromeTrace exports the merged trace of every observed run in
+// Chrome trace-event JSON (one trace process per run, named after the
+// run). It errors unless the Runner had Tracing set.
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	if r.obs == nil || !r.obs.Tracing() {
+		return fmt.Errorf("deep: report has no trace (run with Tracing enabled)")
+	}
+	return r.obs.WriteChromeTrace(w)
+}
+
+// WriteMetricsCSV exports every observed run's sampled timeseries in
+// long CSV form (run,metric,unit,t_s,value). It errors unless the
+// Runner had MetricsEvery set.
+func (r *Report) WriteMetricsCSV(w io.Writer) error {
+	if r.obs == nil || !r.obs.Sampling() {
+		return fmt.Errorf("deep: report has no metrics (run with MetricsEvery set)")
+	}
+	return r.obs.WriteMetricsCSV(w)
 }
 
 // Err joins the per-run errors, nil when every run succeeded.
@@ -110,6 +136,14 @@ type Runner struct {
 	// fed by the event-driven energy recorder. Off keeps the
 	// published tables byte-identical.
 	Energy bool
+	// Tracing records a virtual-time trace of every event-driven
+	// experiment run; export the merged trace with
+	// Report.WriteChromeTrace. Off keeps runs trace-free.
+	Tracing bool
+	// MetricsEvery, when positive, samples per-run metrics timeseries
+	// every that many virtual seconds; export them with
+	// Report.WriteMetricsCSV.
+	MetricsEvery float64
 }
 
 // Run executes the named experiments (all of them, in registry order,
@@ -129,13 +163,17 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		}
 		exps[i] = e
 	}
-	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity), Energy: r.Energy}
+	if r.MetricsEvery < 0 {
+		return nil, fmt.Errorf("deep: negative metrics sampling interval %v s", r.MetricsEvery)
+	}
+	o := obs.New(r.Tracing, sim.FromSeconds(r.MetricsEvery))
+	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity), Energy: r.Energy, Obs: o}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
 	workers := max(r.Parallel, 1)
 
-	rep := &Report{Results: make([]RunResult, len(exps))}
+	rep := &Report{Results: make([]RunResult, len(exps)), obs: o}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, e := range exps {

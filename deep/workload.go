@@ -10,6 +10,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/ompss"
 	"repro/internal/rng"
 )
@@ -178,7 +179,13 @@ func (c Cholesky) Run(ctx context.Context, env *Env) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := ompss.New(workers, ompss.WithRecording())
+	opts := []ompss.Option{ompss.WithRecording()}
+	var tr *ompss.Tracer
+	if env.Machine.tracing {
+		tr = ompss.NewTracer()
+		opts = append(opts, ompss.WithTracer(tr))
+	}
+	rt := ompss.New(workers, opts...)
 	err = ch.RunDataflow(rt)
 	st := rt.Stats()
 	rt.Shutdown()
@@ -205,6 +212,14 @@ func (c Cholesky) Run(ctx context.Context, env *Env) (*Result, error) {
 		res.addMetric(kernel, float64(st.ByName[kernel]), "")
 	}
 	res.verify(maxDiff, 1e-8)
+	if tr != nil {
+		// Cholesky runs on the wall clock, not the virtual clock; the
+		// tracer maps task wall times onto the trace's time axis so the
+		// dataflow schedule is viewable alongside virtual-time runs.
+		t := obs.NewTrace()
+		tr.AddToTrace(t, "cholesky")
+		res.Trace = &TraceData{trace: t}
+	}
 	return res, nil
 }
 

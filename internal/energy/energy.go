@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -209,6 +210,12 @@ type NodeGroup struct {
 	stateNodeS  [machine.NumPowerStates]float64 // node-seconds per state
 	flops       float64
 	transitions uint64
+
+	// Obs, when non-nil, receives every power-state transition as an
+	// instant trace event on the ObsTid thread (typically obs.LanePower
+	// plus a per-group offset). Nil is inert.
+	Obs    *obs.Scope
+	ObsTid int
 }
 
 // Recorder returns the recorder the group publishes into (nil for a
@@ -269,6 +276,10 @@ func (g *NodeGroup) Transition(n int, from, to machine.PowerState) {
 	g.counts[from] -= n
 	g.counts[to] += n
 	g.transitions++
+	if g.Obs.Enabled() {
+		g.Obs.Instant(g.ObsTid, "power", from.String()+"->"+to.String(), g.rec.now(),
+			obs.KV{K: "n", V: n}, obs.KV{K: "busy", V: g.counts[machine.PowerBusy]})
+	}
 }
 
 // SetBusyUtilisation settles and changes the busy-state utilisation

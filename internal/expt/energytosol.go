@@ -7,6 +7,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -113,10 +114,31 @@ type e16Result struct {
 	gfw     float64
 }
 
+// e16Observe wires one E16 machine into the configured observability
+// hub: power transitions on the power lane, fabric message spans, and
+// busy-occupancy / link-hotspot gauges. Inert when cfg has no
+// observer.
+func (m *e16Machine) e16Observe(run *obs.Run) {
+	m.group.Obs = run.Scope()
+	m.group.ObsTid = obs.LanePower
+	m.net.Obs = run.Scope()
+	if reg := run.Metrics(); reg != nil {
+		reg.Gauge("busy_nodes", "nodes", func() float64 {
+			return float64(m.group.InState(machine.PowerBusy))
+		})
+		reg.Gauge("sleep_nodes", "nodes", func() float64 {
+			return float64(m.group.InState(machine.PowerSleep))
+		})
+		reg.Gauge("max_link_util", "", m.net.MaxLinkUtilisation)
+	}
+}
+
 // e16Single runs the whole workload on one homogeneous machine.
-func e16Single(model machine.NodeModel, veff float64, topo topology.Topology,
+func e16Single(cfg *Config, label string, model machine.NodeModel, veff float64, topo topology.Topology,
 	params fabric.Params, emodel fabric.EnergyModel, rounds int, fid fabric.Fidelity) e16Result {
 	eng := sim.New()
+	run := cfg.observe(label, eng)
+	defer run.Close()
 	rec := energy.NewRecorder(eng)
 	m := &e16Machine{
 		eng:   eng,
@@ -126,6 +148,7 @@ func e16Single(model machine.NodeModel, veff float64, topo topology.Topology,
 	}
 	m.net.SetFidelity(fid)
 	m.net.SetEnergyModel(emodel)
+	m.e16Observe(run)
 	m.ring = make([]topology.NodeID, topo.Nodes())
 	for i := range m.ring {
 		m.ring[i] = topology.NodeID(i)
@@ -135,6 +158,7 @@ func e16Single(model machine.NodeModel, veff float64, topo topology.Topology,
 		e16Scalar(eng, m.group, model, func() { finish = eng.Now() })
 	})
 	eng.Run()
+	m.net.ObsLinkUtil()
 	rec.Charge("fabric", m.net.EnergyJoules())
 	return e16Result{finish.Seconds(), rec.Joules(), rec.GFlopsPerWatt()}
 }
@@ -142,8 +166,10 @@ func e16Single(model machine.NodeModel, veff float64, topo topology.Topology,
 // e16Deep runs the co-scheduled split: kernel rounds on the booster
 // torus, scalar part on the cluster side, boosters power-gated to
 // sleep for the scalar tail.
-func e16Deep(k, rounds int, fid fabric.Fidelity) e16Result {
+func e16Deep(cfg *Config, label string, k, rounds int, fid fabric.Fidelity) e16Result {
 	eng := sim.New()
+	run := cfg.observe(label, eng)
+	defer run.Close()
 	rec := energy.NewRecorder(eng)
 	tor := topology.NewTorus3D(k, k, k)
 	m := &e16Machine{
@@ -154,11 +180,14 @@ func e16Deep(k, rounds int, fid fabric.Fidelity) e16Result {
 	}
 	m.net.SetFidelity(fid)
 	m.net.SetEnergyModel(fabric.ExtollEnergy)
+	m.e16Observe(run)
 	m.ring = make([]topology.NodeID, tor.Nodes())
 	for i := range m.ring {
 		m.ring[i] = topology.NodeID(i)
 	}
 	cg := rec.MustAddGroup("cluster", machine.Xeon, e16DeepClusterNodes)
+	cg.Obs = run.Scope()
+	cg.ObsTid = obs.LanePower + 1
 	var finish sim.Time
 	m.e16Rounds(machine.KNC, 0.9, rounds, func() {
 		// Kernel done: the boosters are power-gated for the scalar
@@ -171,6 +200,7 @@ func e16Deep(k, rounds int, fid fabric.Fidelity) e16Result {
 		e16Scalar(eng, cg, machine.Xeon, func() { finish = eng.Now() })
 	})
 	eng.Run()
+	m.net.ObsLinkUtil()
 	rec.Charge("fabric", m.net.EnergyJoules())
 	return e16Result{finish.Seconds(), rec.Joules(), rec.GFlopsPerWatt()}
 }
@@ -187,13 +217,13 @@ func runE16(ctx context.Context, cfg *Config) (*stats.Table, error) {
 			return nil, err
 		}
 		n := k * k * k
-		cluster := e16Single(machine.Xeon, 1,
+		cluster := e16Single(cfg, fmt.Sprintf("E16/%d/cluster", n), machine.Xeon, 1,
 			topology.NewFatTree(n, 1, 1), fabric.InfiniBandFDR, fabric.InfiniBandEnergy,
 			rounds, fid)
-		booster := e16Single(machine.KNC, 0.9,
+		booster := e16Single(cfg, fmt.Sprintf("E16/%d/booster", n), machine.KNC, 0.9,
 			topology.NewTorus3D(k, k, k), fabric.Extoll, fabric.ExtollEnergy,
 			rounds, fid)
-		deep := e16Deep(k, rounds, fid)
+		deep := e16Deep(cfg, fmt.Sprintf("E16/%d/deep", n), k, rounds, fid)
 		for _, row := range []struct {
 			name string
 			r    e16Result

@@ -11,6 +11,8 @@ import (
 	"sort"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -38,6 +40,12 @@ type Config struct {
 	// byte-identical; E16 is inherently an energy experiment and
 	// reports energy regardless.
 	Energy bool
+	// Obs, when non-nil, is the observability hub engine-backed
+	// experiment runs publish into: virtual-time trace spans (when its
+	// tracing is on) and metrics timeseries (when sampling is on). Nil
+	// — the default — is inert and keeps the published tables
+	// byte-identical.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the configuration that reproduces the
@@ -63,6 +71,18 @@ func (c *Config) fidelity(def fabric.Fidelity) fabric.Fidelity {
 
 // energyOn reports whether energy reporting is enabled.
 func (c *Config) energyOn() bool { return c != nil && c.Energy }
+
+// observe opens an observability lane for one simulation run. The
+// label becomes the run's trace process name and metrics run id; it
+// must be unique within one experiment invocation. Nil-safe all the
+// way down: with no observer configured the returned Run is nil and
+// every scope/registry drawn from it is inert.
+func (c *Config) observe(label string, eng *sim.Engine) *obs.Run {
+	if c == nil {
+		return nil
+	}
+	return c.Obs.Observe(label, eng)
+}
 
 // energyHeaders returns the base column headers, extended with the
 // energy columns when energy reporting is on.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/resource"
 	"repro/internal/rng"
@@ -67,18 +68,25 @@ func e13Ckpt() *resil.Checkpoint {
 // e13Run schedules the workload on a size-node booster with the given
 // per-node MTBF (0 = perfect machine) and returns the scheduler, the
 // useful nominal work in node-seconds and the energy recorder (nil
-// unmetered).
-func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uint64, meter bool) (*resource.Scheduler, float64, *energy.Recorder) {
+// unmetered). The cfg/label pair routes the run into the configured
+// observability hub (inert when none is set).
+func e13Run(cfg *Config, label string, size, jobCount int, mode resource.AssignMode, mtbf float64, seed uint64, meter bool) (*resource.Scheduler, float64, *energy.Recorder) {
 	eng := sim.New()
+	run := cfg.observe(label, eng)
+	defer run.Close()
 	pool := resource.NewPool(size)
 	pool.PartitionOwners(size / 16)
 	s := resource.NewScheduler(eng, pool, mode)
 	s.Backfill = mode == resource.Dynamic
 	s.Ckpt = e13Ckpt()
+	s.Obs = run.Scope()
+	schedulerGauges(run.Metrics(), s)
 	var rec *energy.Recorder
 	if meter {
 		rec = energy.NewRecorder(eng)
 		s.Energy = rec.MustAddGroup("booster", machine.KNC, size)
+		s.Energy.Obs = run.Scope()
+		s.Energy.ObsTid = obs.LanePower
 		// The injector keeps the engine alive to its horizon; energy
 		// to solution ends at the last job completion.
 		done := 0
@@ -95,6 +103,7 @@ func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uin
 	}
 	if mtbf > 0 {
 		inj := resil.NewInjector(eng, 400*sim.Second)
+		inj.Obs = run.Scope()
 		inj.Nodes(size, resil.Faults{
 			TTF: resil.Exponential{M: mtbf},
 			TTR: resil.Fixed{D: 20},
@@ -102,6 +111,18 @@ func e13Run(size, jobCount int, mode resource.AssignMode, mtbf float64, seed uin
 	}
 	eng.Run()
 	return s, work, rec
+}
+
+// schedulerGauges registers the scheduler-health timeseries every
+// engine-backed scheduling run exports; a nil registry is inert.
+func schedulerGauges(reg *obs.Registry, s *resource.Scheduler) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("queue_depth", "jobs", func() float64 { return float64(s.QueueLen()) })
+	reg.Gauge("free_boosters", "nodes", func() float64 { return float64(s.Pool.Free()) })
+	reg.Gauge("requeues", "", func() float64 { return float64(s.Requeued) })
+	reg.Gauge("lost_work_s", "s", func() float64 { return s.LostWork.Seconds() })
 }
 
 // e13Eff is useful nominal work over delivered capacity.
@@ -124,12 +145,13 @@ func runE13(ctx context.Context, cfg *Config) (*stats.Table, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			st, workS, _ := e13Run(size, jobs, resource.Static, mtbf, cfg.seed(11), false)
-			dy, workD, rec := e13Run(size, jobs, resource.Dynamic, mtbf, cfg.seed(11), cfg.energyOn())
 			label := "inf"
 			if mtbf > 0 {
 				label = fmt.Sprintf("%.0f", mtbf)
 			}
+			point := fmt.Sprintf("E13/%d/%s", size, label)
+			st, workS, _ := e13Run(cfg, point+"/static", size, jobs, resource.Static, mtbf, cfg.seed(11), false)
+			dy, workD, rec := e13Run(cfg, point+"/dynamic", size, jobs, resource.Dynamic, mtbf, cfg.seed(11), cfg.energyOn())
 			tab.AddRow(cfg.energyRow(
 				[]any{fmt.Sprintf("%d/%s", size, label), size, label,
 					e13Eff(st, workS), e13Eff(dy, workD), int(st.Requeued), int(dy.Requeued)},
@@ -170,11 +192,15 @@ func e14Ckpt(interval float64) *resil.Checkpoint {
 // e14Run completes 48 single-node jobs under exponential node failures
 // with the given checkpoint interval (0 = no checkpointing) and
 // returns the scheduler and the energy recorder (nil unmetered).
-func e14Run(interval float64, seed uint64, meter bool) (*resource.Scheduler, *energy.Recorder) {
+func e14Run(cfg *Config, label string, interval float64, seed uint64, meter bool) (*resource.Scheduler, *energy.Recorder) {
 	eng := sim.New()
+	run := cfg.observe(label, eng)
+	defer run.Close()
 	pool := resource.NewPool(e14Nodes)
 	s := resource.NewScheduler(eng, pool, resource.Dynamic)
 	s.Backfill = true
+	s.Obs = run.Scope()
+	schedulerGauges(run.Metrics(), s)
 	if interval > 0 {
 		s.Ckpt = e14Ckpt(interval)
 	}
@@ -182,6 +208,8 @@ func e14Run(interval float64, seed uint64, meter bool) (*resource.Scheduler, *en
 	if meter {
 		rec = energy.NewRecorder(eng)
 		s.Energy = rec.MustAddGroup("booster", machine.KNC, e14Nodes)
+		s.Energy.Obs = run.Scope()
+		s.Energy.ObsTid = obs.LanePower
 		done := 0
 		s.OnJobDone = func(*resource.Job) {
 			if done++; done == e14Nodes {
@@ -196,6 +224,7 @@ func e14Run(interval float64, seed uint64, meter bool) (*resource.Scheduler, *en
 		})
 	}
 	inj := resil.NewInjector(eng, 3000*sim.Second)
+	inj.Obs = run.Scope()
 	inj.Nodes(e14Nodes, resil.Faults{
 		TTF: resil.Exponential{M: e14MTBF},
 		TTR: resil.Fixed{D: 1},
@@ -235,7 +264,7 @@ func runE14(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s, rec := e14Run(sw.interval, cfg.seed(23), cfg.energyOn())
+		s, rec := e14Run(cfg, "E14/"+sw.label, sw.interval, cfg.seed(23), cfg.energyOn())
 		wall := e14MeanWall(s)
 		analytic := math.NaN()
 		if sw.interval > 0 {

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -54,6 +55,12 @@ type Network struct {
 	// takes — so energy totals are fidelity-invariant.
 	energy    EnergyModel
 	transferJ float64
+
+	// Obs, when non-nil, receives the fabric timeline as trace events:
+	// one message span per Send on the sender's node lane, flow-commit
+	// instants when the fast path fires, and link outage instants.
+	// Nil — the default — is inert.
+	Obs *obs.Scope
 }
 
 // SetEnergyModel attaches an electrical model to the fabric. Call
@@ -159,6 +166,9 @@ func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time
 		panic("fabric: negative message size")
 	}
 	n.Stats.Messages++
+	if n.Obs.Enabled() {
+		done = n.obsWrap(src, dst, size, done)
+	}
 	route := n.Topo.Route(src, dst)
 	if len(route) == 0 {
 		// Loopback: only the software overheads apply.
@@ -178,12 +188,33 @@ func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time
 		if (n.fidelity == FidelityFlow || n.fidelity == FidelityAuto) && n.routeFaultFree(route) {
 			starts, total, delivery := n.flowPlan(route, segs)
 			if n.fidelity == FidelityFlow || n.autoQuiescent(route, delivery) {
+				if n.Obs.Enabled() {
+					n.Obs.Instant(obs.LaneNodes+int(src), "fabric", "flow-commit",
+						n.Eng.Now(), obs.KV{K: "dst", V: int(dst)}, obs.KV{K: "bytes", V: size})
+				}
 				n.commitFlow(route, size, starts, total, delivery, done)
 				return
 			}
 		}
 		n.packetSend(route, segs, size, done)
 	})
+}
+
+// obsWrap interposes on a Send completion callback to emit the
+// message's trace span: from the Send call to delivery (or drop) on
+// the sender's node lane.
+func (n *Network) obsWrap(src, dst topology.NodeID, size int,
+	done func(at sim.Time, err error)) func(at sim.Time, err error) {
+	t0 := n.Eng.Now()
+	return func(at sim.Time, err error) {
+		name := "msg"
+		if err != nil {
+			name = "msg-drop"
+		}
+		n.Obs.Span(obs.LaneNodes+int(src), "fabric", name, t0, at,
+			obs.KV{K: "dst", V: int(dst)}, obs.KV{K: "bytes", V: size})
+		done(at, err)
+	}
 }
 
 // packetSend injects one message into the exact per-packet model:
@@ -303,13 +334,40 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 // packets until LinkRepaired. Traffic crossing it burns retransmission
 // attempts and is eventually dropped if the outage outlasts the retry
 // budget.
-func (n *Network) LinkFailed(l int) { n.down[l] = true }
+func (n *Network) LinkFailed(l int) {
+	n.down[l] = true
+	if n.Obs.Enabled() {
+		n.Obs.Instant(obs.LaneLinks+l, "fault", "link-down", n.Eng.Now(), obs.KV{K: "link", V: l})
+	}
+}
 
 // LinkRepaired implements resil.LinkTarget.
-func (n *Network) LinkRepaired(l int) { n.down[l] = false }
+func (n *Network) LinkRepaired(l int) {
+	n.down[l] = false
+	if n.Obs.Enabled() {
+		n.Obs.Instant(obs.LaneLinks+l, "fault", "link-up", n.Eng.Now(), obs.KV{K: "link", V: l})
+	}
+}
 
 // LinkDown reports whether link l is currently failed.
 func (n *Network) LinkDown(l topology.LinkID) bool { return n.down[l] }
+
+// ObsLinkUtil emits one link-util instant per link with non-zero
+// occupancy at the current time — the per-link hotspot markers
+// cmd/deeptrace aggregates. Call after the run completes; a nil or
+// disabled scope makes it a no-op.
+func (n *Network) ObsLinkUtil() {
+	if !n.Obs.Enabled() {
+		return
+	}
+	now := n.Eng.Now()
+	for l := range n.links {
+		if u := n.LinkUtilisation(topology.LinkID(l)); u > 0 {
+			n.Obs.Instant(obs.LaneLinks+l, "fabric", "link-util", now,
+				obs.KV{K: "link", V: l}, obs.KV{K: "utilisation", V: u})
+		}
+	}
+}
 
 // ZeroLoadLatency returns the modelled latency of a size-byte message
 // between src and dst on an idle network: overheads + per-hop router

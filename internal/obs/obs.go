@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Observer is the per-invocation observability hub: it owns one Trace
+// shared by every run it observes and one metrics Registry per run.
+// A nil Observer is fully inert — Observe returns a nil Run whose
+// accessors return nil scopes and registries, which the instrumented
+// subsystems already tolerate — so "observability off" costs exactly
+// the nil checks at the emission sites.
+type Observer struct {
+	mu    sync.Mutex
+	trace *Trace
+	every sim.Time
+	regs  []*Registry
+}
+
+// New returns an observer with tracing on/off and metrics sampled
+// every sampleEvery of virtual time (0 disables periodic sampling).
+// When both are off it returns nil, the inert observer.
+func New(tracing bool, sampleEvery sim.Time) *Observer {
+	if !tracing && sampleEvery <= 0 {
+		return nil
+	}
+	o := &Observer{every: sampleEvery}
+	if tracing {
+		o.trace = NewTrace()
+	}
+	return o
+}
+
+// Tracing reports whether the observer records trace events.
+func (o *Observer) Tracing() bool { return o != nil && o.trace != nil }
+
+// Sampling reports whether the observer samples metrics periodically.
+func (o *Observer) Sampling() bool { return o != nil && o.every > 0 }
+
+// SampleEvery returns the metrics cadence (0 when sampling is off).
+func (o *Observer) SampleEvery() sim.Time {
+	if o == nil {
+		return 0
+	}
+	return o.every
+}
+
+// Trace returns the shared trace (nil when tracing is off).
+func (o *Observer) Trace() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.trace
+}
+
+// Run bundles what one observed simulation run emits into: a trace
+// scope and a metrics registry. The nil Run is inert.
+type Run struct {
+	scope *Scope
+	reg   *Registry
+}
+
+// Scope returns the run's trace scope (nil when tracing is off).
+func (r *Run) Scope() *Scope {
+	if r == nil {
+		return nil
+	}
+	return r.scope
+}
+
+// Metrics returns the run's registry (nil when the observer is nil).
+func (r *Run) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Close finalises the run's registry (final sample, probe detached).
+func (r *Run) Close() {
+	if r == nil {
+		return
+	}
+	r.reg.Close()
+}
+
+// Observe opens an observability lane for one simulation run: a trace
+// scope named name and a registry sampling eng on the observer's
+// cadence. The registry always carries the simulation kernel's own
+// health gauges (executed/pending events and the event-pool hit rate
+// from sim.Stats). Run labels double as Chrome process names and must
+// be unique per observer for the exported trace to be deterministic
+// under a parallel runner.
+func (o *Observer) Observe(name string, eng *sim.Engine) *Run {
+	if o == nil {
+		return nil
+	}
+	reg := NewRegistry(name, eng, o.every)
+	reg.Gauge("sim_events_executed", "", func() float64 { return float64(eng.Executed()) })
+	reg.Gauge("sim_events_pending", "", func() float64 { return float64(eng.Pending()) })
+	reg.Gauge("sim_pool_hit_rate", "", func() float64 {
+		st := eng.Stats()
+		if st.Allocs+st.Reused == 0 {
+			return 0
+		}
+		return float64(st.Reused) / float64(st.Allocs+st.Reused)
+	})
+	o.mu.Lock()
+	o.regs = append(o.regs, reg)
+	o.mu.Unlock()
+	return &Run{scope: o.trace.Process(name), reg: reg}
+}
+
+// Registries returns the per-run registries sorted by name, the
+// deterministic export order.
+func (o *Observer) Registries() []*Registry {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	regs := append([]*Registry(nil), o.regs...)
+	o.mu.Unlock()
+	sort.Slice(regs, func(i, j int) bool { return regs[i].name < regs[j].name })
+	return regs
+}
+
+// WriteChromeTrace exports the merged trace of every observed run.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if !o.Tracing() {
+		return fmt.Errorf("obs: tracing not enabled")
+	}
+	return o.trace.WriteChrome(w)
+}
+
+// WriteMetricsCSV writes every run's timeseries in long form
+// (run,metric,unit,t_s,value) so multi-run sweeps land in one flat
+// file.
+func (o *Observer) WriteMetricsCSV(w io.Writer) error {
+	if o == nil {
+		return fmt.Errorf("obs: metrics not enabled")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "metric", "unit", "t_s", "value"}); err != nil {
+		return err
+	}
+	for _, reg := range o.Registries() {
+		times := reg.Times()
+		for _, s := range reg.Series() {
+			for i, t := range times {
+				err := cw.Write([]string{reg.Name(), s.Name, s.Unit,
+					formatFloat(t.Seconds()), formatFloat(s.vals[i])})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

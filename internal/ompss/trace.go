@@ -1,12 +1,14 @@
 package ompss
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Tracer records the real execution timeline of a runtime: which
@@ -98,32 +100,37 @@ func (tr *Tracer) Summarize() TraceSummary {
 	return s
 }
 
-// chromeEvent is the trace-event-format record (phase "X": complete
-// event with duration, microsecond units).
-type chromeEvent struct {
-	Name string `json:"name"`
-	Ph   string `json:"ph"`
-	Ts   int64  `json:"ts"`
-	Dur  int64  `json:"dur"`
-	Pid  int    `json:"pid"`
-	Tid  int    `json:"tid"`
-}
-
 // WriteChromeTrace emits the timeline as a Chrome trace-event JSON
-// array, one complete event per task, worker id as thread id.
+// array through the repository's shared encoder (obs.WriteChrome),
+// one complete event per task, worker id as thread id.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := tr.Events()
-	out := make([]chromeEvent, len(events))
+	out := make([]obs.ChromeEvent, len(events))
 	for i, e := range events {
-		out[i] = chromeEvent{
+		out[i] = obs.ChromeEvent{
 			Name: fmt.Sprintf("%s#%d", e.Name, e.Task),
 			Ph:   "X",
-			Ts:   e.Start.Microseconds(),
-			Dur:  (e.End - e.Start).Microseconds(),
+			Ts:   float64(e.Start.Microseconds()),
+			Dur:  float64((e.End - e.Start).Microseconds()),
 			Pid:  0,
 			Tid:  e.Worker,
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return obs.WriteChrome(w, out)
+}
+
+// AddToTrace copies the recorded timeline into an obs trace process,
+// mapping wall time since tracing began onto the virtual-time axis.
+// It lets a real-runtime (OmpSs) timeline ride in the same Chrome
+// trace as the simulated machine's.
+func (tr *Tracer) AddToTrace(t *obs.Trace, process string) {
+	sc := t.Process(process)
+	if !sc.Enabled() {
+		return
+	}
+	for _, e := range tr.Events() {
+		start := sim.Time(e.Start.Nanoseconds()) * sim.Nanosecond
+		end := sim.Time(e.End.Nanoseconds()) * sim.Nanosecond
+		sc.Span(e.Worker, "ompss", fmt.Sprintf("%s#%d", e.Name, e.Task), start, end)
+	}
 }

@@ -72,6 +72,11 @@ func (c *Checkpoint) localCost() sim.Time {
 	return c.LocalWrite
 }
 
+// WriteCost is the wall cost of the i-th checkpoint write (1-based):
+// the local tier plus the global tier when i is promoted. The
+// observability layer walks it to reconstruct checkpoint span times.
+func (c *Checkpoint) WriteCost(i int) sim.Time { return c.writeCost(i) }
+
 // writeCost is the wall cost of the i-th checkpoint (1-based).
 func (c *Checkpoint) writeCost(i int) sim.Time {
 	w := c.localCost()

@@ -3,6 +3,7 @@ package resil
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -45,6 +46,11 @@ type Injector struct {
 	NodeRepairs  uint64
 	LinkFailures uint64
 	LinkRepairs  uint64
+
+	// Obs, when non-nil, receives the fault timeline as trace events:
+	// an instant per failure and a component-down span per repair, on
+	// the fault lane of the per-component thread. Nil is inert.
+	Obs *obs.Scope
 }
 
 // NewInjector returns an injector generating failures in [0, horizon].
@@ -62,7 +68,7 @@ func (in *Injector) Nodes(n int, f Faults, seed uint64, t NodeTarget) {
 	if n == 0 || f.TTF == nil {
 		return
 	}
-	in.start(n, f, seed, t.NodeFailed, t.NodeRepaired, &in.NodeFailures, &in.NodeRepairs)
+	in.start("node", n, f, seed, t.NodeFailed, t.NodeRepaired, &in.NodeFailures, &in.NodeRepairs)
 }
 
 // Links starts a fail/repair process for link ids [0, n) against the
@@ -71,21 +77,21 @@ func (in *Injector) Links(n int, f Faults, seed uint64, t LinkTarget) {
 	if n == 0 || f.TTF == nil {
 		return
 	}
-	in.start(n, f, seed, t.LinkFailed, t.LinkRepaired, &in.LinkFailures, &in.LinkRepairs)
+	in.start("link", n, f, seed, t.LinkFailed, t.LinkRepaired, &in.LinkFailures, &in.LinkRepairs)
 }
 
-func (in *Injector) start(n int, f Faults, seed uint64,
+func (in *Injector) start(kind string, n int, f Faults, seed uint64,
 	onFail, onRepair func(int), failures, repairs *uint64) {
 	if f.TTR == nil {
 		panic("resil: Faults with a TTF but no TTR (use Fixed{0} for instant repair)")
 	}
 	root := rng.New(seed)
 	for id := 0; id < n; id++ {
-		in.schedule(id, root.Split(), f, onFail, onRepair, failures, repairs)
+		in.schedule(kind, id, root.Split(), f, onFail, onRepair, failures, repairs)
 	}
 }
 
-func (in *Injector) schedule(id int, r *rng.Source, f Faults,
+func (in *Injector) schedule(kind string, id int, r *rng.Source, f Faults,
 	onFail, onRepair func(int), failures, repairs *uint64) {
 	at := in.Eng.Now() + sim.FromSeconds(f.TTF.Sample(r))
 	if at > in.Horizon {
@@ -93,12 +99,21 @@ func (in *Injector) schedule(id int, r *rng.Source, f Faults,
 	}
 	in.Eng.At(at, func() {
 		*failures++
+		failAt := in.Eng.Now()
+		if in.Obs.Enabled() {
+			in.Obs.Instant(obs.LaneFaults+id, "fault", kind+"-fail", failAt,
+				obs.KV{K: kind, V: id})
+		}
 		onFail(id)
 		down := sim.FromSeconds(f.TTR.Sample(r))
 		in.Eng.After(down, func() {
 			*repairs++
+			if in.Obs.Enabled() {
+				in.Obs.Span(obs.LaneFaults+id, "fault", kind+"-down", failAt, in.Eng.Now(),
+					obs.KV{K: kind, V: id})
+			}
 			onRepair(id)
-			in.schedule(id, r, f, onFail, onRepair, failures, repairs)
+			in.schedule(kind, id, r, f, onFail, onRepair, failures, repairs)
 		})
 	})
 }

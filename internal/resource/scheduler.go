@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/sim"
 )
@@ -41,6 +42,9 @@ type Job struct {
 	// share of the planned wall, for energy attribution.
 	startOverhead sim.Time
 	ioPlanned     sim.Time
+	// killedAt stamps the last failure-induced kill, so the trace can
+	// show the requeue-to-restart wait as a span.
+	killedAt sim.Time
 }
 
 // Wait returns the job's queueing delay.
@@ -112,6 +116,12 @@ type Scheduler struct {
 	// WakeLatency is the sleep -> busy penalty of a gated allocation.
 	WakeLatency sim.Time
 
+	// Obs, when non-nil, receives the job lifecycle as trace events:
+	// queued/requeue instants, wait spans, one span per attempt (run
+	// or killed) with wake/restore/checkpoint sub-spans. Nil — the
+	// default — is inert.
+	Obs *obs.Scope
+
 	queue     []*Job
 	completed []*Job
 	busyArea  float64      // node-seconds of booster occupancy
@@ -161,6 +171,11 @@ func (s *Scheduler) Submit(j *Job) {
 	}
 	s.Eng.At(j.Arrival, func() {
 		j.remaining = j.Duration
+		if s.Obs.Enabled() {
+			s.Obs.Instant(obs.LaneJobs+j.ID, "sched", "queued", s.Eng.Now(),
+				obs.KV{K: "boosters", V: j.Boosters},
+				obs.KV{K: "duration_s", V: j.Duration.Seconds()})
+		}
 		s.queue = append(s.queue, j)
 		s.dispatch()
 	})
@@ -239,6 +254,60 @@ func (s *Scheduler) markStart(j *Job) {
 	if !j.started {
 		j.started = true
 		j.Start = s.Eng.Now()
+		if s.Obs.Enabled() && j.Start > j.Arrival {
+			s.Obs.Span(obs.LaneJobs+j.ID, "sched", "wait", j.Arrival, j.Start)
+		}
+	} else if s.Obs.Enabled() && s.Eng.Now() > j.killedAt {
+		s.Obs.Span(obs.LaneJobs+j.ID, "sched", "requeue-wait", j.killedAt, s.Eng.Now())
+	}
+}
+
+// obsMaxCkptSpans bounds the checkpoint spans reconstructed per
+// attempt: a pathological interval/duration ratio must not flood the
+// trace.
+const obsMaxCkptSpans = 4096
+
+// obsAttempt emits the trace spans of one attempt that ended (done or
+// killed) at end: the attempt span itself plus, when the attempt held
+// nodes, its wake/restore overhead spans and one span per checkpoint
+// write that completed. Checkpoints are not discrete events in the
+// scheduler (they are folded into the attempt's wall time by
+// Ckpt.RunWall), so their times are reconstructed from the model's
+// interval/write-cost geometry — the same walk Ckpt.Progress does.
+func (s *Scheduler) obsAttempt(j *Job, start, end sim.Time, name string, args ...obs.KV) {
+	tid := obs.LaneJobs + j.ID
+	s.Obs.Span(tid, "sched", name, start, end, args...)
+	if j.nodes == nil {
+		return
+	}
+	cursor := start
+	if s.GateIdle && s.WakeLatency > 0 {
+		wakeEnd := cursor + s.WakeLatency
+		if wakeEnd > end {
+			wakeEnd = end
+		}
+		s.Obs.Span(tid, "sched", "wake", cursor, wakeEnd)
+		cursor = wakeEnd
+	}
+	if restore := start + j.startOverhead - cursor; restore > 0 {
+		restoreEnd := cursor + restore
+		if restoreEnd > end {
+			restoreEnd = end
+		}
+		s.Obs.Span(tid, "ckpt", "restore", cursor, restoreEnd)
+	}
+	if s.Ckpt == nil {
+		return
+	}
+	t := start + j.startOverhead
+	for i := 1; i <= obsMaxCkptSpans; i++ {
+		w := s.Ckpt.WriteCost(i)
+		segEnd := t + s.Ckpt.Interval + w
+		if segEnd > end {
+			break
+		}
+		s.Obs.Span(tid, "ckpt", "checkpoint", segEnd-w, segEnd, obs.KV{K: "index", V: i})
+		t = segEnd
 	}
 }
 
@@ -253,6 +322,11 @@ func (s *Scheduler) finishAt(j *Job, dur sim.Time) {
 		}
 		j.End = s.Eng.Now()
 		j.remaining = 0
+		if s.Obs.Enabled() {
+			s.obsAttempt(j, j.attemptStart, j.End, "run",
+				obs.KV{K: "attempt", V: j.attempt + 1})
+			s.Obs.Instant(obs.LaneJobs+j.ID, "sched", "done", j.End)
+		}
 		if j.nodes != nil {
 			s.Energy.Transition(len(j.nodes), machine.PowerBusy, s.releaseState())
 			s.chargeIO(j.ioPlanned, len(j.nodes))
@@ -335,6 +409,15 @@ func (s *Scheduler) kill(j *Job) {
 		}
 	}
 	s.LostWork += elapsed - savedWall
+	if s.Obs.Enabled() {
+		s.obsAttempt(j, j.attemptStart, s.Eng.Now(), "killed",
+			obs.KV{K: "attempt", V: j.attempt + 1},
+			obs.KV{K: "lost_s", V: (elapsed - savedWall).Seconds()},
+			obs.KV{K: "saved_s", V: savedWall.Seconds()})
+		s.Obs.Instant(obs.LaneJobs+j.ID, "sched", "requeue", s.Eng.Now(),
+			obs.KV{K: "restarts", V: j.Restarts + 1})
+	}
+	j.killedAt = s.Eng.Now()
 	for _, id := range j.nodes {
 		delete(s.running, id)
 	}

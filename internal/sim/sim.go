@@ -138,6 +138,13 @@ type Engine struct {
 	// never migrate across engines, which the Token safety contract
 	// and the engine's single-threadedness rely on.
 	pool sync.Pool
+
+	// probe, when set, observes the clock advancing: it runs before
+	// each event dispatches, with the new current time. It must not
+	// schedule or cancel events — it exists so the observability layer
+	// can sample state without ever entering the event queue (a real
+	// tick event would perturb NextEventTime and the makespan).
+	probe func(now Time)
 }
 
 // New returns an empty Engine at time zero.
@@ -264,6 +271,12 @@ func (e *Engine) NextEventTime() (Time, bool) {
 // events stay queued; Run can be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetProbe installs fn as the clock-advance observer (nil removes
+// it). The probe fires once per dispatched event, after the clock
+// moves to the event's time and before its callback runs. With no
+// probe installed the cost is one predictable branch per event.
+func (e *Engine) SetProbe(fn func(now Time)) { e.probe = fn }
+
 // dispatch runs one popped event and recycles it.
 func (e *Engine) dispatch(ev *Event) {
 	fn, h, a0, a1, t := ev.fn, ev.h, ev.a0, ev.a1, ev.at
@@ -285,6 +298,9 @@ func (e *Engine) Run() Time {
 			break
 		}
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe(e.now)
+		}
 		e.executed++
 		e.dispatch(ev)
 	}
@@ -302,6 +318,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			break
 		}
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe(e.now)
+		}
 		e.executed++
 		e.dispatch(ev)
 	}
