@@ -10,6 +10,10 @@
 //	deeprun -app nbody -n 64 -iters 10 -ranks 4
 //	deeprun -app spmv -ranks 4 -energy
 //	deeprun -app jobs -jobs 24 -dynamic -mtbf 120 -trace t.json -metrics m.csv
+//
+// The exit status is part of the contract: 0 only when the run
+// completed AND its numerical verification (if any) passed; 1 on
+// verification failure or any error.
 package main
 
 import (
@@ -43,7 +47,7 @@ func syntheticJobs(n int, seed uint64) []deep.Job {
 }
 
 // writeFile streams an export into path.
-func writeFile(path string, write func(io.Writer) error) error {
+func writeFile(path string, stderr io.Writer, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -55,37 +59,50 @@ func writeFile(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	fmt.Fprintf(stderr, "wrote %s\n", path)
 	return nil
 }
 
-func main() {
+// run is the testable body of main: parses args (without the program
+// name), runs the workload, and returns the process exit code. A
+// failed numerical verification returns 1 even though the run itself
+// completed — CI scripts depend on that.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deeprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app      = flag.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody | jobs")
-		n        = flag.Int("n", 64, "cholesky matrix dimension / nbody body count")
-		ts       = flag.Int("ts", 16, "cholesky tile size")
-		workers  = flag.Int("workers", 8, "cholesky OmpSs workers")
-		nx       = flag.Int("nx", 32, "grid X dimension")
-		ny       = flag.Int("ny", 32, "grid Y dimension")
-		iters    = flag.Int("iters", 10, "iterations")
-		ranks    = flag.Int("ranks", 4, "MPI ranks")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		fidStr   = flag.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
-		energy   = flag.Bool("energy", false, "report energy to solution (joules, per-group breakdown)")
-		jobCount = flag.Int("jobs", 24, "jobs: number of synthetic jobs to schedule")
-		dynamic  = flag.Bool("dynamic", false, "jobs: draw boosters from the shared pool instead of static ownership")
-		mtbf     = flag.Float64("mtbf", 0, "jobs: per-node MTBF in seconds (0: no fault injection)")
-		boosters = flag.Int("boosters", 16, "jobs: booster pool size")
-		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
-		metrics  = flag.String("metrics", "", "write sampled metrics timeseries CSV to this file")
-		sample   = flag.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
+		app      = fs.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody | jobs")
+		n        = fs.Int("n", 64, "cholesky matrix dimension / nbody body count")
+		ts       = fs.Int("ts", 16, "cholesky tile size")
+		workers  = fs.Int("workers", 8, "cholesky OmpSs workers")
+		nx       = fs.Int("nx", 32, "grid X dimension")
+		ny       = fs.Int("ny", 32, "grid Y dimension")
+		iters    = fs.Int("iters", 10, "iterations")
+		ranks    = fs.Int("ranks", 4, "MPI ranks")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		fidStr   = fs.String("fidelity", "default", "fabric transfer model: default | packet | flow | auto")
+		energy   = fs.Bool("energy", false, "report energy to solution (joules, per-group breakdown)")
+		tol      = fs.Float64("tol", 0, "override the workload's verification tolerance (0: built-in default)")
+		jobCount = fs.Int("jobs", 24, "jobs: number of synthetic jobs to schedule")
+		dynamic  = fs.Bool("dynamic", false, "jobs: draw boosters from the shared pool instead of static ownership")
+		mtbf     = fs.Float64("mtbf", 0, "jobs: per-node MTBF in seconds (0: no fault injection)")
+		boosters = fs.Int("boosters", 16, "jobs: booster pool size")
+		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metrics  = fs.String("metrics", "", "write sampled metrics timeseries CSV to this file")
+		sample   = fs.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "deeprun: %v\n", err)
+		return 1
+	}
 
 	fid, err := deep.ParseFidelity(*fidStr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
 	var w deep.Workload
@@ -101,8 +118,7 @@ func main() {
 	case "jobs":
 		w = deep.ScheduledJobs{Jobs: syntheticJobs(*jobCount, *seed), Dynamic: *dynamic}
 	default:
-		fmt.Fprintf(os.Stderr, "deeprun: unknown app %q\n", *app)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown app %q", *app))
 	}
 
 	// The machine sizes each fabric to hold one rank per node, like
@@ -131,43 +147,42 @@ func main() {
 	}
 	m, err := deep.NewMachine(opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	res, err := deep.Run(ctx, m.NewEnv(), w)
+	env := m.NewEnv()
+	env.Tol = *tol
+	res, err := deep.Run(ctx, env, w)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	if err := res.WriteText(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-		os.Exit(1)
+	if err := res.WriteText(stdout); err != nil {
+		return fail(err)
 	}
 	if *trace != "" {
 		if res.Trace == nil {
-			fmt.Fprintf(os.Stderr, "deeprun: %s recorded no trace\n", *app)
-			os.Exit(1)
+			return fail(fmt.Errorf("%s recorded no trace", *app))
 		}
-		if err := writeFile(*trace, res.Trace.WriteChrome); err != nil {
-			fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-			os.Exit(1)
+		if err := writeFile(*trace, stderr, res.Trace.WriteChrome); err != nil {
+			return fail(err)
 		}
 	}
 	if *metrics != "" {
 		if res.Series == nil {
-			fmt.Fprintf(os.Stderr, "deeprun: %s recorded no metrics (only engine-backed apps like jobs sample)\n", *app)
-			os.Exit(1)
+			return fail(fmt.Errorf("%s recorded no metrics (only engine-backed apps like jobs sample)", *app))
 		}
-		if err := writeFile(*metrics, res.Series.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "deeprun: %v\n", err)
-			os.Exit(1)
+		if err := writeFile(*metrics, stderr, res.Series.WriteCSV); err != nil {
+			return fail(err)
 		}
 	}
 	if !res.Verified {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunVerifiedWorkloadExitsZero: the happy path prints VERIFIED
+// and exits 0.
+func TestRunVerifiedWorkloadExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-app", "spmv"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "VERIFIED") {
+		t.Fatalf("stdout lacks VERIFIED:\n%s", out.String())
+	}
+}
+
+// TestRunFailedVerificationExitsNonZero is the regression test for
+// the exit-status contract: a run whose numerical verification fails
+// must exit non-zero, not merely print FAILED. The impossible
+// tolerance (-tol -1) makes the failure deterministic.
+func TestRunFailedVerificationExitsNonZero(t *testing.T) {
+	for _, app := range []string{"spmv", "cholesky", "stencil", "nbody"} {
+		t.Run(app, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(context.Background(), []string{"-app", app, "-tol", "-1"}, &out, &errOut)
+			if code == 0 {
+				t.Fatalf("failed verification exited 0; stdout:\n%s", out.String())
+			}
+			if !strings.Contains(out.String(), "FAILED") {
+				t.Fatalf("stdout lacks FAILED:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestRunBadFlagsExitNonZero: usage errors fail fast with a message.
+func TestRunBadFlagsExitNonZero(t *testing.T) {
+	cases := [][]string{
+		{"-app", "fft"},
+		{"-fidelity", "exact"},
+		{"-ranks", "0"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code == 0 {
+			t.Errorf("%v exited 0", args)
+		} else if errOut.Len() == 0 {
+			t.Errorf("%v produced no diagnostic", args)
+		}
+	}
+}
+
+// TestRunCancelledContextExitsNonZero: an interrupted run reports the
+// cancellation instead of a result.
+func TestRunCancelledContextExitsNonZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, []string{"-app", "spmv"}, &out, &errOut); code == 0 {
+		t.Fatalf("cancelled run exited 0; stdout:\n%s", out.String())
+	}
+}
+
+// TestRunWritesArtifacts: -trace and -metrics produce the files.
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	metricsPath := filepath.Join(dir, "m.csv")
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{
+		"-app", "jobs", "-jobs", "8",
+		"-trace", tracePath, "-metrics", metricsPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, p := range []string{tracePath, metricsPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -375,6 +375,20 @@ type Env struct {
 	// PlaceOnBooster places the ranks on booster nodes (EXTOLL costs)
 	// instead of cluster nodes (InfiniBand costs).
 	PlaceOnBooster bool
+	// Tol, when non-zero, overrides each checked workload's built-in
+	// verification tolerance. A negative value can never be met, so it
+	// deterministically fails verification — the knob deeprun's -tol
+	// flag and the failure-path regression tests use.
+	Tol float64
+}
+
+// tol resolves the effective verification tolerance given a
+// workload's built-in default.
+func (e *Env) tol(def float64) float64 {
+	if e == nil || e.Tol == 0 {
+		return def
+	}
+	return e.Tol
 }
 
 // validate reports whether the environment can execute a workload.

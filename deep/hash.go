@@ -1,0 +1,47 @@
+package deep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON renders v in a canonical JSON form: object keys
+// sorted, minimal whitespace, numbers preserved exactly as their
+// original encoding (no float round-trip drift). Two values that
+// marshal to semantically identical JSON produce identical bytes, so
+// the output is a stable content-addressing key for configurations
+// shipped over the wire.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("deep: canonical marshal: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("deep: canonical re-decode: %w", err)
+	}
+	// encoding/json marshals map[string]any with sorted keys and no
+	// insignificant whitespace, which is exactly the canonical form;
+	// json.Number round-trips the original digit string untouched.
+	out, err := json.Marshal(tree)
+	if err != nil {
+		return nil, fmt.Errorf("deep: canonical re-encode: %w", err)
+	}
+	return out, nil
+}
+
+// ContentHash returns the hex SHA-256 of v's canonical JSON form —
+// the content address deepd's result cache keys on.
+func ContentHash(v any) (string, error) {
+	b, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

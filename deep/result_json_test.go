@@ -1,0 +1,145 @@
+package deep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/deep"
+)
+
+// roundTrip marshals v, unmarshals into a fresh Result, re-marshals,
+// and requires the two byte sequences to be identical — the stability
+// contract the deepd result cache depends on (cached bytes must mean
+// exactly what a fresh marshalling would).
+func roundTrip(t *testing.T, res *deep.Result) []byte {
+	t.Helper()
+	first, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded deep.Result
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Result JSON is not round-trip stable:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	return first
+}
+
+// TestResultJSONRoundTripFull exercises every optional block at once
+// with hand-picked awkward values (denormal-ish floats, empty
+// strings, zero units).
+func TestResultJSONRoundTripFull(t *testing.T) {
+	res := &deep.Result{
+		Workload:  "synthetic",
+		Summary:   "n=64 tile=16",
+		ModelTime: 1.25e-3,
+		Metrics: []deep.Metric{
+			{Name: "bytes_moved", Value: 1 << 30, Unit: "B"},
+			{Name: "ratio", Value: 0.30000000000000004},
+			{Name: "zero", Value: 0},
+		},
+		Notes:    []string{"adjusted N from 63 to 64", ""},
+		Checked:  true,
+		MaxError: 3.1e-12,
+		Tol:      1e-8,
+		Verified: true,
+		Energy: &deep.EnergyReport{
+			Joules:        12345.6789,
+			GFlopsPerWatt: 0.123,
+			Groups: []deep.GroupEnergy{
+				{Name: "cluster", Joules: 1000, BusyFraction: 0.5, SleepSeconds: 12},
+				{Name: "booster", Joules: 11345.6789, BusyFraction: 0.975},
+			},
+			Charges: []deep.Metric{{Name: "fabric", Value: 7.5, Unit: "J"}},
+		},
+		Kernel: &deep.KernelStats{
+			ExecutedEvents:  987654,
+			ScheduledEvents: 987660,
+			CancelledEvents: 6,
+			MaxQueueDepth:   4096,
+			PoolHitRate:     0.875,
+		},
+		Series: &deep.MetricsReport{
+			SampleEveryS: 0.5,
+			TimesS:       []float64{0, 0.5, 1.0000000000000002},
+			Series: []deep.MetricSeries{
+				{Name: "busy_nodes", Unit: "nodes", Values: []float64{0, 32, 16}},
+			},
+		},
+	}
+	raw := roundTrip(t, res)
+	// The JSON names are API: clients and the CI smoke job key on them.
+	for _, field := range []string{
+		`"workload"`, `"model_time_s"`, `"max_error"`, `"energy"`, `"joules"`,
+		`"gflops_per_watt"`, `"busy_fraction"`, `"sleep_node_seconds"`,
+		`"kernel"`, `"executed_events"`, `"pool_hit_rate"`,
+		`"timeseries"`, `"t_s"`, `"verified"`,
+	} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("marshalled Result lacks %s:\n%s", field, raw)
+		}
+	}
+}
+
+// TestResultJSONRoundTripZero: the minimal Result must stay stable
+// too, with every optional block omitted rather than null.
+func TestResultJSONRoundTripZero(t *testing.T) {
+	raw := roundTrip(t, &deep.Result{Workload: "w", Summary: "s"})
+	for _, absent := range []string{"energy", "kernel", "timeseries", "metrics", "notes", "max_error", "tol"} {
+		if bytes.Contains(raw, []byte(`"`+absent+`"`)) {
+			t.Errorf("zero Result marshals optional field %q: %s", absent, raw)
+		}
+	}
+}
+
+// TestResultJSONRoundTripLive round-trips the Result of a real
+// metered, sampled ScheduledJobs run — Energy, Kernel and Series
+// blocks as the simulation actually produces them.
+func TestResultJSONRoundTripLive(t *testing.T) {
+	m, err := deep.NewMachine(
+		deep.WithEnergyMetering(),
+		deep.WithMetrics(10),
+		deep.WithPowerGating(0.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deep.Run(context.Background(), m.NewEnv(), deep.ScheduledJobs{
+		Jobs: []deep.Job{
+			{Arrival: 0, Duration: 100, Boosters: 4},
+			{Arrival: 10, Duration: 50, Boosters: 2},
+			{Arrival: 20, Duration: 200, Boosters: 8},
+		},
+		Dynamic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy == nil || res.Kernel == nil || res.Series == nil {
+		t.Fatalf("metered run lacks blocks: energy=%v kernel=%v series=%v",
+			res.Energy != nil, res.Kernel != nil, res.Series != nil)
+	}
+	raw := roundTrip(t, res)
+
+	var decoded deep.Result
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Energy.Joules != res.Energy.Joules {
+		t.Errorf("joules drifted through JSON: %v != %v", decoded.Energy.Joules, res.Energy.Joules)
+	}
+	if decoded.Kernel.ExecutedEvents != res.Kernel.ExecutedEvents {
+		t.Errorf("kernel counters drifted: %+v != %+v", decoded.Kernel, res.Kernel)
+	}
+	if len(decoded.Series.TimesS) != len(res.Series.TimesS) {
+		t.Errorf("timeseries axis drifted: %d != %d samples", len(decoded.Series.TimesS), len(res.Series.TimesS))
+	}
+}

@@ -144,6 +144,15 @@ type Runner struct {
 	// every that many virtual seconds; export them with
 	// Report.WriteMetricsCSV.
 	MetricsEvery float64
+	// OnResult, when non-nil, is called once per experiment as it
+	// finishes (table or error filled in), before Run returns. Calls
+	// may come from concurrent worker goroutines.
+	OnResult func(RunResult)
+	// Progress, when non-nil, receives the label of every simulation
+	// run an experiment opens (one label per sweep point), as it
+	// starts — live progress for long sweeps. Calls may come from
+	// concurrent worker goroutines.
+	Progress func(label string)
 }
 
 // Run executes the named experiments (all of them, in registry order,
@@ -167,6 +176,14 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		return nil, fmt.Errorf("deep: negative metrics sampling interval %v s", r.MetricsEvery)
 	}
 	o := obs.New(r.Tracing, sim.FromSeconds(r.MetricsEvery))
+	if r.Progress != nil {
+		if o == nil {
+			// A progress-only observer: no trace, no sampling, just
+			// lane-open notifications. Inert for experiment output.
+			o = &obs.Observer{}
+		}
+		o.OnObserve = r.Progress
+	}
 	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity), Energy: r.Energy, Obs: o}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
@@ -181,19 +198,35 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		wg.Add(1)
 		go func(i int, e expt.Experiment) {
 			defer wg.Done()
+			// finish publishes the result to OnResult before the worker
+			// slot frees, so a single-worker runner delivers completions
+			// in execution order and a callback that cancels the context
+			// stops the queue before the next experiment can start.
+			finish := func() {
+				if r.OnResult != nil {
+					r.OnResult(rep.Results[i])
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				rep.Results[i].Err = err
+				finish()
+				return
+			}
 			select {
 			case sem <- struct{}{}:
-				defer func() { <-sem }()
 			case <-ctx.Done():
 				rep.Results[i].Err = ctx.Err()
+				finish()
 				return
 			}
 			tab, err := e.Run(ctx, cfg)
 			if err != nil {
 				rep.Results[i].Err = err
-				return
+			} else {
+				rep.Results[i].Table = fromStats(tab)
 			}
-			rep.Results[i].Table = fromStats(tab)
+			finish()
+			<-sem
 		}(i, e)
 	}
 	wg.Wait()

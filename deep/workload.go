@@ -109,7 +109,7 @@ func runVerified(ctx context.Context, env *Env, res *Result, want []float64, tol
 	res.ModelTime = ModelTime(makespan.Seconds())
 	res.addMetric("messages", float64(msgs), "")
 	res.addMetric("sent_bytes", float64(bytes), "B")
-	res.verify(maxDiff, tol)
+	res.verify(maxDiff, env.tol(tol))
 	meterModelEnergy(env, res, bytes)
 	return nil
 }
@@ -211,7 +211,7 @@ func (c Cholesky) Run(ctx context.Context, env *Env) (*Result, error) {
 	for _, kernel := range []string{"potrf", "trsm", "gemm", "syrk"} {
 		res.addMetric(kernel, float64(st.ByName[kernel]), "")
 	}
-	res.verify(maxDiff, 1e-8)
+	res.verify(maxDiff, env.tol(1e-8))
 	if tr != nil {
 		// Cholesky runs on the wall clock, not the virtual clock; the
 		// tracer maps task wall times onto the trace's time axis so the

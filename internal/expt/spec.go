@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/obs"
+)
+
+// Spec is the wire form of a Config: the JSON shape service clients
+// submit (and the content-addressed cache keys on). Every field has
+// the zero-value-is-default semantics of Config, so an empty Spec
+// reproduces the published tables and omitempty keeps the canonical
+// encoding minimal. Observability wiring (Config.Obs) is runtime
+// state, not configuration, and deliberately has no wire form.
+type Spec struct {
+	// Seed overrides the published RNG seed of seeded experiments;
+	// zero keeps each experiment's default.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale multiplies workload sizes; 0 or 1 keeps paper scale.
+	Scale float64 `json:"scale,omitempty"`
+	// Fidelity is the fabric transfer model ("", "default", "packet",
+	// "flow" or "auto").
+	Fidelity string `json:"fidelity,omitempty"`
+	// Energy appends joules / GFlop/W columns to every experiment.
+	Energy bool `json:"energy,omitempty"`
+}
+
+// Config converts the spec into a runnable Config, validating the
+// fidelity string and normalising Scale. The observer is left nil;
+// attach one with Config.Obs for traced/sampled runs.
+func (s Spec) Config() (*Config, error) {
+	fid, err := fabric.ParseFidelity(s.Fidelity)
+	if err != nil {
+		return nil, fmt.Errorf("expt: spec: %w", err)
+	}
+	if s.Scale < 0 {
+		return nil, fmt.Errorf("expt: spec: negative scale %v", s.Scale)
+	}
+	cfg := &Config{Seed: s.Seed, Scale: s.Scale, Fidelity: fid, Energy: s.Energy}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	return cfg, nil
+}
+
+// Spec returns the canonical wire form of the config: defaults encode
+// as zero values ("" fidelity, 0 scale), so semantically identical
+// configs always serialise — and therefore content-hash — the same.
+func (c *Config) Spec() Spec {
+	if c == nil {
+		return Spec{}
+	}
+	s := Spec{Seed: c.Seed, Energy: c.Energy}
+	if c.Scale != 0 && c.Scale != 1 {
+		s.Scale = c.Scale
+	}
+	if c.Fidelity != fabric.FidelityDefault {
+		s.Fidelity = c.Fidelity.String()
+	}
+	return s
+}
+
+// WithObs returns a copy of the config carrying the observer — the
+// one non-wire field a service run attaches after decoding a Spec.
+func (c *Config) WithObs(o *obs.Observer) *Config {
+	cp := *c
+	cp.Obs = o
+	return &cp
+}

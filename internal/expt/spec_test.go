@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// TestSpecConfigRoundTrip: Spec -> Config -> Spec must be the
+// identity on canonical specs, and Config -> Spec -> Config must
+// preserve run semantics — the contract deepd's content-addressed
+// cache rests on.
+func TestSpecConfigRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Seed: 7},
+		{Scale: 2.5},
+		{Fidelity: "flow"},
+		{Fidelity: "auto", Energy: true},
+		{Seed: 99, Scale: 0.5, Fidelity: "packet", Energy: true},
+	}
+	for _, s := range specs {
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if got := cfg.Spec(); got != s {
+			t.Errorf("spec round trip: %+v -> %+v", s, got)
+		}
+	}
+}
+
+// TestSpecCanonicalises: non-canonical but semantically identical
+// specs (explicit defaults) normalise to the same wire form, so they
+// hash identically.
+func TestSpecCanonicalises(t *testing.T) {
+	for _, s := range []Spec{
+		{Fidelity: "default"},
+		{Scale: 1},
+		{Fidelity: "default", Scale: 1},
+	} {
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if got := cfg.Spec(); got != (Spec{}) {
+			t.Errorf("%+v did not canonicalise: %+v", s, got)
+		}
+	}
+}
+
+// TestConfigSpecPreservesRun: converting the default config through
+// the wire form must keep the effective run parameters.
+func TestConfigSpecPreservesRun(t *testing.T) {
+	cfg := &Config{Seed: 3, Scale: 1, Fidelity: fabric.FidelityAuto, Energy: true}
+	back, err := cfg.Spec().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != cfg.Seed || back.Scale != cfg.Scale ||
+		back.Fidelity != cfg.Fidelity || back.Energy != cfg.Energy {
+		t.Fatalf("config drifted through wire form: %+v -> %+v", cfg, back)
+	}
+}
+
+func TestSpecRejectsInvalid(t *testing.T) {
+	if _, err := (Spec{Fidelity: "exact"}).Config(); err == nil {
+		t.Fatal("unknown fidelity accepted")
+	}
+	if _, err := (Spec{Scale: -1}).Config(); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+// TestSpecJSONStable: the wire encoding of a spec is stable under
+// marshal -> unmarshal -> re-marshal, and empty specs encode to {}.
+func TestSpecJSONStable(t *testing.T) {
+	s := Spec{Seed: 11, Scale: 2, Fidelity: "flow", Energy: true}
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("re-marshal drifted: %s -> %s", b1, b2)
+	}
+	if b, _ := json.Marshal(Spec{}); string(b) != "{}" {
+		t.Fatalf("empty spec encodes as %s", b)
+	}
+}

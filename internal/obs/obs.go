@@ -17,6 +17,14 @@ import (
 // subsystems already tolerate — so "observability off" costs exactly
 // the nil checks at the emission sites.
 type Observer struct {
+	// OnObserve, when non-nil, is called with the run label each time
+	// a simulation run opens an observability lane (Observe). Set it
+	// before the observer is shared; it may be called from concurrent
+	// runs and must be safe for that. The zero Observer with only
+	// OnObserve set is a valid "progress-only" hub: no trace, no
+	// sampling, just lane-open notifications.
+	OnObserve func(name string)
+
 	mu    sync.Mutex
 	trace *Trace
 	every sim.Time
@@ -114,6 +122,9 @@ func (o *Observer) Observe(name string, eng *sim.Engine) *Run {
 	o.mu.Lock()
 	o.regs = append(o.regs, reg)
 	o.mu.Unlock()
+	if o.OnObserve != nil {
+		o.OnObserve(name)
+	}
 	return &Run{scope: o.trace.Process(name), reg: reg}
 }
 

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func entry(key string, n int) *Entry {
+	return &Entry{Key: key, Result: make([]byte, n), Verified: true}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1<<20, 16)
+	if c.Get("a") != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(entry("a", 100))
+	if c.Get("a") == nil {
+		t.Fatal("miss after Put")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUEvictionByEntries(t *testing.T) {
+	c := NewCache(0, 2)
+	c.Put(entry("a", 10))
+	c.Put(entry("b", 10))
+	c.Get("a") // promote a; b is now LRU
+	c.Put(entry("c", 10))
+	if c.Get("b") != nil {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("wrong entry evicted")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	c := NewCache(1000, 0)
+	for i := range 5 {
+		c.Put(entry(fmt.Sprintf("k%d", i), 300))
+	}
+	st := c.Stats()
+	if st.Bytes > 1000 {
+		t.Fatalf("cache over byte budget: %d", st.Bytes)
+	}
+	if st.Entries == 0 || st.Evictions == 0 {
+		t.Fatalf("expected a partially full cache with evictions: %+v", st)
+	}
+}
+
+func TestCacheRejectsOversizeEntry(t *testing.T) {
+	c := NewCache(100, 0)
+	c.Put(entry("small", 50))
+	c.Put(entry("huge", 500))
+	if c.Get("huge") != nil {
+		t.Fatal("oversize entry cached")
+	}
+	if c.Get("small") == nil {
+		t.Fatal("oversize entry flushed the cache")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d", st.Rejected)
+	}
+}
+
+func TestCacheReplaceUpdatesBytes(t *testing.T) {
+	c := NewCache(0, 0)
+	c.Put(entry("a", 100))
+	c.Put(entry("a", 300))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+	want := entry("a", 300).size()
+	if st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}

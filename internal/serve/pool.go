@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the bounded worker pool jobs execute on: a fixed number of
+// workers draining a bounded admission queue, with graceful drain.
+// The execution function itself lives on the Server (it needs the
+// cache); the pool only owns admission and lifecycle.
+type Pool struct {
+	queue    chan *job
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	// mu orders Submit's queue send against Drain's queue close, so a
+	// racing Submit can never send on a closed channel.
+	mu sync.RWMutex
+
+	// base is the ancestor of every job context; cancelling it aborts
+	// all running jobs (the hard-stop end of a drain).
+	base       context.Context
+	baseCancel context.CancelFunc
+}
+
+// NewPool starts workers goroutines over a queue of the given depth,
+// executing run for each admitted job.
+func NewPool(workers, depth int, run func(ctx context.Context, j *job)) *Pool {
+	p := &Pool{queue: make(chan *job, depth)}
+	p.base, p.baseCancel = context.WithCancel(context.Background())
+	for range workers {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				run(p.base, j)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit admits a job; typed errors report a full queue or a
+// draining pool.
+func (p *Pool) Submit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining.Load() {
+		return errf(ErrDraining, http.StatusServiceUnavailable, "daemon is draining; no new jobs")
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return errf(ErrQueueFull, http.StatusServiceUnavailable,
+			"admission queue full (%d jobs); retry later", cap(p.queue))
+	}
+}
+
+// Draining reports whether a drain has started.
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Drain stops admission, waits up to timeout for queued and running
+// jobs to finish, then cancels whatever is still running. It returns
+// true when the pool drained cleanly within the timeout.
+func (p *Pool) Drain(timeout time.Duration) bool {
+	if p.draining.Swap(true) {
+		return false // already draining
+	}
+	p.mu.Lock()
+	close(p.queue)
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.baseCancel()
+		return true
+	case <-time.After(timeout):
+		p.baseCancel() // hard-stop stragglers
+		<-done
+		return false
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"repro/deep"
+)
+
+// normKey normalizes the spec and returns its content key.
+func normKey(t *testing.T, spec *JobSpec) string {
+	t.Helper()
+	if err := spec.normalize(); err != nil {
+		t.Fatalf("normalize %+v: %v", spec, err)
+	}
+	key, err := spec.contentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestContentKeyCanonical: spelling out defaults must not change the
+// content address — the property that makes the cache hit for
+// equivalent requests from different clients.
+func TestContentKeyCanonical(t *testing.T) {
+	base := normKey(t, &JobSpec{Experiment: "E01"})
+	for name, spec := range map[string]*JobSpec{
+		"explicit default fidelity": {Experiment: "E01", Fidelity: "default"},
+		"explicit scale 1":          {Experiment: "E01", Scale: 1},
+		"deadline is a hint":        {Experiment: "E01", DeadlineS: 5},
+	} {
+		if got := normKey(t, spec); got != base {
+			t.Errorf("%s: key %s != %s", name, got, base)
+		}
+	}
+	workload := &JobSpec{Workload: &WorkloadSpec{Kind: "spmv"}}
+	explicit := &JobSpec{Workload: &WorkloadSpec{Kind: "spmv", NX: 32, NY: 32, Iters: 10}}
+	if normKey(t, workload) != normKey(t, explicit) {
+		t.Error("defaulted and explicit spmv specs hash differently")
+	}
+}
+
+// TestContentKeySeparates: anything that changes what a job computes
+// or records must change the content address.
+func TestContentKeySeparates(t *testing.T) {
+	keys := map[string]string{}
+	for name, spec := range map[string]*JobSpec{
+		"e01":          {Experiment: "E01"},
+		"e04":          {Experiment: "E04"},
+		"e01 seeded":   {Experiment: "E01", Seed: 7},
+		"e01 scaled":   {Experiment: "E01", Scale: 2},
+		"e01 flow":     {Experiment: "E01", Fidelity: "flow"},
+		"e01 energy":   {Experiment: "E01", Energy: true},
+		"e01 traced":   {Experiment: "E01", Trace: true},
+		"e01 sampled":  {Experiment: "E01", MetricsEveryS: 0.5},
+		"spmv":         {Workload: &WorkloadSpec{Kind: "spmv"}},
+		"spmv big":     {Workload: &WorkloadSpec{Kind: "spmv", NX: 64}},
+		"spmv booster": {Workload: &WorkloadSpec{Kind: "spmv", PlaceOnBooster: true}},
+		"spmv machine": {Workload: &WorkloadSpec{Kind: "spmv"}, Machine: &MachineSpec{ClusterNodes: 16}},
+	} {
+		key := normKey(t, spec)
+		if prev, dup := keys[key]; dup {
+			t.Errorf("%s and %s share a content key", name, prev)
+		}
+		keys[key] = name
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := map[string]struct {
+		spec *JobSpec
+		code ErrorCode
+	}{
+		"empty":        {&JobSpec{}, ErrInvalidRequest},
+		"both kinds":   {&JobSpec{Experiment: "E01", Workload: &WorkloadSpec{Kind: "spmv"}}, ErrInvalidRequest},
+		"expt machine": {&JobSpec{Experiment: "E01", Machine: &MachineSpec{ClusterNodes: 4}}, ErrInvalidRequest},
+		"unknown expt": {&JobSpec{Experiment: "E99"}, ErrUnknownExperiment},
+		"bad fidelity": {&JobSpec{Experiment: "E01", Fidelity: "exact"}, ErrInvalidRequest},
+		"neg scale":    {&JobSpec{Experiment: "E01", Scale: -1}, ErrInvalidRequest},
+		"neg deadline": {&JobSpec{Experiment: "E01", DeadlineS: -1}, ErrInvalidRequest},
+		"neg metrics":  {&JobSpec{Experiment: "E01", MetricsEveryS: -1}, ErrInvalidRequest},
+		"no kind":      {&JobSpec{Workload: &WorkloadSpec{}}, ErrUnknownWorkload},
+		"bad kind":     {&JobSpec{Workload: &WorkloadSpec{Kind: "offload"}}, ErrUnknownWorkload},
+		"empty jobs":   {&JobSpec{Workload: &WorkloadSpec{Kind: "jobs"}}, ErrInvalidRequest},
+		"bad job": {&JobSpec{Workload: &WorkloadSpec{Kind: "jobs",
+			Jobs: []deep.Job{{Arrival: -1, Duration: 1, Boosters: 1}}}}, ErrInvalidRequest},
+		"bad torus": {&JobSpec{Workload: &WorkloadSpec{Kind: "spmv"},
+			Machine: &MachineSpec{BoosterTorus: []int{2, 2}}}, ErrInvalidRequest},
+		"torus contradiction": {&JobSpec{Workload: &WorkloadSpec{Kind: "spmv"},
+			Machine: &MachineSpec{BoosterNodes: 9, BoosterTorus: []int{2, 2, 2}}}, ErrInvalidRequest},
+		"bad machine": {&JobSpec{Workload: &WorkloadSpec{Kind: "spmv"},
+			Machine: &MachineSpec{BoosterNodes: 4, BoosterWorkers: 8}}, ErrInvalidRequest},
+	}
+	for name, c := range cases {
+		err := c.spec.normalize()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		var typed *Error
+		if !errors.As(err, &typed) {
+			t.Errorf("%s: untyped error %v", name, err)
+			continue
+		}
+		if typed.Code != c.code {
+			t.Errorf("%s: code %s, want %s", name, typed.Code, c.code)
+		}
+	}
+}
+
+// TestNormalizeTorusFillsNodes: a torus spec implies the node count.
+func TestNormalizeTorusFillsNodes(t *testing.T) {
+	spec := &JobSpec{
+		Workload: &WorkloadSpec{Kind: "spmv"},
+		Machine:  &MachineSpec{BoosterTorus: []int{3, 3, 3}},
+	}
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Machine.BoosterNodes != 27 {
+		t.Fatalf("booster nodes = %d", spec.Machine.BoosterNodes)
+	}
+}
