@@ -15,6 +15,7 @@
 //	deepbench -bench 5 -run E15    # wall-clock benchmark, best of 5
 //	deepbench -bench 3 -json       # benchmark all, write BENCH_<id>.json
 //	deepbench -run E13 -trace t.json -metrics m.csv   # observability exports
+//	deepbench -store results -resume   # resumable sweep: skip stored points
 package main
 
 import (
@@ -30,7 +31,18 @@ import (
 	"time"
 
 	"repro/deep"
+	"repro/internal/store"
 )
+
+// writeOnlyStore records finished points without ever answering a
+// lookup: -store without -resume persists a sweep for later resumption
+// but still recomputes everything this time.
+type writeOnlyStore struct{ inner deep.RunStore }
+
+func (w writeOnlyStore) LookupRun(string) ([]byte, bool) { return nil, false }
+func (w writeOnlyStore) StoreRun(key, experiment string, payload, text []byte) error {
+	return w.inner.StoreRun(key, experiment, payload, text)
+}
 
 // benchResult is the wire form of one BENCH_<id>.json file, consumed
 // by cmd/benchguard in CI to catch wall-clock regressions. Joules is
@@ -141,6 +153,8 @@ func main() {
 		traceFlag    = flag.String("trace", "", "write a Chrome trace-event JSON of every run to this file")
 		metricsFlag  = flag.String("metrics", "", "write sampled metrics timeseries CSV to this file")
 		sampleFlag   = flag.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
+		storeFlag    = flag.String("store", "", "persist finished points to an append-only store in this directory")
+		resumeFlag   = flag.Bool("resume", false, "skip points already in -store (resume a killed sweep)")
 	)
 	flag.Parse()
 
@@ -181,6 +195,31 @@ func main() {
 		runner.MetricsEvery = *sampleFlag
 	}
 
+	if *resumeFlag && *storeFlag == "" {
+		fmt.Fprintln(os.Stderr, "deepbench: -resume needs -store (where would the finished points come from?)")
+		os.Exit(1)
+	}
+	if *storeFlag != "" {
+		switch {
+		case *benchFlag > 0:
+			fmt.Fprintln(os.Stderr, "deepbench: -store cannot be combined with -bench (stored points would skip the timed work)")
+			os.Exit(1)
+		case runner.Tracing || runner.MetricsEvery > 0:
+			fmt.Fprintln(os.Stderr, "deepbench: -store cannot be combined with -trace/-metrics (observability artifacts are not stored)")
+			os.Exit(1)
+		}
+		st, err := store.Open(*storeFlag, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepbench: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		runner.Store = store.RunView{Store: st}
+		if !*resumeFlag {
+			runner.Store = writeOnlyStore{inner: runner.Store}
+		}
+	}
+
 	if *benchFlag > 0 {
 		if runner.Tracing || runner.MetricsEvery > 0 {
 			fmt.Fprintln(os.Stderr, "deepbench: -trace/-metrics cannot be combined with -bench (observation would skew the timings)")
@@ -197,6 +236,13 @@ func main() {
 	if rep == nil {
 		fmt.Fprintf(os.Stderr, "deepbench: %v (try -list)\n", runErr)
 		os.Exit(1)
+	}
+	if *resumeFlag {
+		fmt.Fprintf(os.Stderr, "deepbench: resumed %d of %d points from %s\n",
+			rep.StoreHits, len(rep.Results), *storeFlag)
+	}
+	if rep.StoreErrors > 0 {
+		fmt.Fprintf(os.Stderr, "deepbench: %d store writes failed (results above are still fresh)\n", rep.StoreErrors)
 	}
 	if *traceFlag != "" {
 		if err := writeFile(*traceFlag, rep.WriteChromeTrace); err != nil {

@@ -27,6 +27,13 @@
 // SIGTERM/SIGINT starts a graceful drain: no new jobs are admitted,
 // in-flight jobs get -drain-timeout to finish, stragglers are
 // cancelled, then the listener shuts down.
+//
+// With -store DIR the cache is persistent: finished results are
+// written through to an append-only store in DIR, the cache
+// warm-starts from it on boot, and LRU misses fall back to disk — a
+// restarted daemon answers repeat traffic without re-simulating. Each
+// boot advances the store epoch, so `deepstore prune` can age out
+// configs untouched for N daemon generations.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -54,6 +62,7 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 4096, "result cache entry budget (-1: unbounded)")
 		deadline     = flag.Duration("deadline", 10*time.Minute, "default per-job wall-clock deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		storeDir     = flag.String("store", "", "persist results to an append-only store in this directory (empty: memory only)")
 	)
 	flag.Parse()
 
@@ -64,12 +73,30 @@ func main() {
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "deepd: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		epoch, err := st.AdvanceEpoch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepd: advancing store epoch: %v\n", err)
+			os.Exit(1)
+		}
+		s := st.Stats()
+		log.Printf("deepd: store %s: %d entries, %d segments, %.0f%% live, epoch %d",
+			*storeDir, s.Entries, s.Segments, 100*s.LiveRatio, epoch)
+	}
 	srv := serve.New(serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheBytes:      cacheBytes,
 		CacheEntries:    *cacheEntries,
 		DefaultDeadline: *deadline,
+		Store:           st,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -10,14 +10,19 @@
 //	deeprun -app nbody -n 64 -iters 10 -ranks 4
 //	deeprun -app spmv -ranks 4 -energy
 //	deeprun -app jobs -jobs 24 -dynamic -mtbf 120 -trace t.json -metrics m.csv
+//	deeprun -app spmv -store results          # persist the run
+//	deeprun -app spmv -store results -resume  # replay it without simulating
 //
 // The exit status is part of the contract: 0 only when the run
 // completed AND its numerical verification (if any) passed; 1 on
-// verification failure or any error.
+// verification failure or any error. A -resume replay keeps the
+// contract: the stored verified flag decides the exit status.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 
 	"repro/deep"
+	"repro/internal/store"
 )
 
 // syntheticJobs builds a seeded synthetic booster job mix for the
@@ -90,6 +96,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		metrics  = fs.String("metrics", "", "write sampled metrics timeseries CSV to this file")
 		sample   = fs.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
+		storeDir = fs.String("store", "", "persist the run to an append-only store in this directory")
+		resume   = fs.Bool("resume", false, "replay a stored identical run from -store instead of simulating")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,6 +111,60 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fid, err := deep.ParseFidelity(*fidStr)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *resume && *storeDir == "" {
+		return fail(fmt.Errorf("-resume needs -store"))
+	}
+	var st *store.Store
+	var storeKey string
+	if *storeDir != "" {
+		if *trace != "" || *metrics != "" {
+			return fail(fmt.Errorf("-store cannot be combined with -trace/-metrics (observability artifacts are not stored)"))
+		}
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			return fail(err)
+		}
+		defer st.Close()
+		// The content address covers every knob that shapes the output:
+		// identical invocations hash identically, anything else is a
+		// different point.
+		storeKey, err = deep.ContentHash(struct {
+			V        int     `json:"v"`
+			Kind     string  `json:"kind"`
+			App      string  `json:"app"`
+			N        int     `json:"n"`
+			TS       int     `json:"ts"`
+			Workers  int     `json:"workers"`
+			NX       int     `json:"nx"`
+			NY       int     `json:"ny"`
+			Iters    int     `json:"iters"`
+			Ranks    int     `json:"ranks"`
+			Seed     uint64  `json:"seed"`
+			Fidelity string  `json:"fidelity"`
+			Energy   bool    `json:"energy"`
+			Tol      float64 `json:"tol"`
+			Jobs     int     `json:"jobs"`
+			Dynamic  bool    `json:"dynamic"`
+			MTBF     float64 `json:"mtbf"`
+			Boosters int     `json:"boosters"`
+		}{1, "deeprun", *app, *n, *ts, *workers, *nx, *ny, *iters, *ranks,
+			*seed, fid.String(), *energy, *tol, *jobCount, *dynamic, *mtbf, *boosters})
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if *resume {
+		if e, ok, gerr := st.Get(storeKey); gerr == nil && ok && len(e.Text) > 0 {
+			if _, werr := stdout.Write(e.Text); werr != nil {
+				return fail(werr)
+			}
+			fmt.Fprintf(stderr, "deeprun: replayed stored run (store %s)\n", *storeDir)
+			if !e.Verified {
+				return 1
+			}
+			return 0
+		}
 	}
 
 	var w deep.Workload
@@ -156,8 +218,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	if err := res.WriteText(stdout); err != nil {
+	var text bytes.Buffer
+	out := io.Writer(stdout)
+	if st != nil {
+		// Tee the rendered text so the stored copy replays verbatim.
+		out = io.MultiWriter(stdout, &text)
+	}
+	if err := res.WriteText(out); err != nil {
 		return fail(err)
+	}
+	if st != nil {
+		payload, merr := json.Marshal(struct {
+			V        int    `json:"v"`
+			Kind     string `json:"kind"`
+			App      string `json:"app"`
+			Verified bool   `json:"verified"`
+		}{1, "deeprun", *app, res.Verified})
+		if merr != nil {
+			return fail(merr)
+		}
+		if perr := st.Put(&store.Entry{
+			Key: storeKey, Meta: "deeprun:" + *app, Verified: res.Verified,
+			Result: payload, Text: text.Bytes(),
+		}); perr != nil {
+			fmt.Fprintf(stderr, "deeprun: store write failed: %v (run output above is unaffected)\n", perr)
+		}
 	}
 	if *trace != "" {
 		if res.Trace == nil {

@@ -69,6 +69,69 @@ func TestRunCancelledContextExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestRunStoreReplay: a stored run replays byte-identically without
+// simulating, and the replay keeps the exit-status contract for both
+// verified and failed runs.
+func TestRunStoreReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+
+	var fresh, errOut strings.Builder
+	if code := run(context.Background(), []string{"-app", "spmv", "-store", dir}, &fresh, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	var replay, replayErr strings.Builder
+	code := run(context.Background(), []string{"-app", "spmv", "-store", dir, "-resume"}, &replay, &replayErr)
+	if code != 0 {
+		t.Fatalf("replay exit %d, stderr:\n%s", code, replayErr.String())
+	}
+	if replay.String() != fresh.String() {
+		t.Fatalf("replay is not byte-identical:\n--- fresh ---\n%s--- replay ---\n%s", fresh.String(), replay.String())
+	}
+	if !strings.Contains(replayErr.String(), "replayed stored run") {
+		t.Fatalf("replay did not announce itself:\n%s", replayErr.String())
+	}
+
+	// A different point is a miss: -resume simulates (and stores) it.
+	var other, otherErr strings.Builder
+	if code := run(context.Background(), []string{"-app", "spmv", "-ranks", "8", "-store", dir, "-resume"}, &other, &otherErr); code != 0 {
+		t.Fatalf("miss exit %d, stderr:\n%s", code, otherErr.String())
+	}
+	if strings.Contains(otherErr.String(), "replayed stored run") {
+		t.Fatal("different knobs replayed the wrong stored run")
+	}
+
+	// A stored failed verification replays as exit 1.
+	var bad strings.Builder
+	if code := run(context.Background(), []string{"-app", "spmv", "-tol", "-1", "-store", dir}, &bad, &errOut); code != 1 {
+		t.Fatalf("failed verification exit %d", code)
+	}
+	var badReplay, badReplayErr strings.Builder
+	if code := run(context.Background(), []string{"-app", "spmv", "-tol", "-1", "-store", dir, "-resume"}, &badReplay, &badReplayErr); code != 1 {
+		t.Fatalf("failed-verification replay exit %d", code)
+	}
+	if !strings.Contains(badReplayErr.String(), "replayed stored run") || badReplay.String() != bad.String() {
+		t.Fatal("failed-verification replay did not serve the stored bytes")
+	}
+}
+
+// TestRunStoreFlagValidation: -resume needs -store, and -store refuses
+// the observability exports it cannot persist.
+func TestRunStoreFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-app", "spmv", "-resume"},
+		{"-app", "spmv", "-store", "x", "-trace", "t.json"},
+		{"-app", "spmv", "-store", "x", "-metrics", "m.csv"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code == 0 {
+			t.Errorf("%v exited 0", args)
+		} else if errOut.Len() == 0 {
+			t.Errorf("%v produced no diagnostic", args)
+		}
+	}
+}
+
 // TestRunWritesArtifacts: -trace and -metrics produce the files.
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()

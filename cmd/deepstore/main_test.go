@@ -1,0 +1,138 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// seedStore populates a store the way the daemon would: a few
+// verified experiment results, one of which goes stale across epochs.
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	put := func(key, meta, text string) {
+		t.Helper()
+		if err := st.Put(&store.Entry{
+			Key: key, Meta: meta, Verified: true,
+			Result: []byte(`{"kind":"test"}`), Text: []byte(text),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("key-e16-a", "E16", "E16 point A\n")
+	put("key-e16-b", "E16", "E16 point B\n")
+	put("key-e01", "E01", "E01 table\n")
+	// Age two epochs; only the E01 entry stays warm.
+	for range 2 {
+		if _, err := st.AdvanceEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Touch("key-e01"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// do runs one deepstore invocation, failing the test on an unexpected
+// exit code.
+func do(t *testing.T, wantCode int, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != wantCode {
+		t.Fatalf("deepstore %v: exit %d, want %d\nstdout: %s\nstderr: %s",
+			args, code, wantCode, out.String(), errOut.String())
+	}
+	return out.String(), errOut.String()
+}
+
+func TestStatsQueryGet(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	seedStore(t, dir)
+
+	stats, _ := do(t, 0, "-dir", dir, "stats")
+	for _, want := range []string{`"entries": 3`, `"epoch": 3`, `"live_ratio"`, `"segments": 1`} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats lacks %s:\n%s", want, stats)
+		}
+	}
+
+	query, _ := do(t, 0, "-dir", dir, "query", "E16")
+	if strings.Count(query, "\n") != 2 || !strings.Contains(query, "key-e16-a") || strings.Contains(query, "key-e01") {
+		t.Fatalf("query E16:\n%s", query)
+	}
+	if _, errOut := do(t, 1, "-dir", dir, "query", "E99"); !strings.Contains(errOut, "E99") {
+		t.Fatalf("empty query diagnostic: %s", errOut)
+	}
+
+	text, _ := do(t, 0, "-dir", dir, "get", "key-e01")
+	if text != "E01 table\n" {
+		t.Fatalf("get replayed %q", text)
+	}
+	do(t, 1, "-dir", dir, "get", "no-such-key")
+}
+
+func TestPruneAndCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	seedStore(t, dir)
+
+	// Age 3 > store age: nothing to prune.
+	out, _ := do(t, 0, "-dir", dir, "prune", "3")
+	if !strings.Contains(out, "pruned 0 entries") {
+		t.Fatalf("over-age prune:\n%s", out)
+	}
+	// Age 2 catches the two E16 entries stuck at epoch 0; the touched
+	// E01 entry survives.
+	out, _ = do(t, 0, "-dir", dir, "prune", "2")
+	if !strings.Contains(out, "pruned 2 entries") || !strings.Contains(out, "1 live") {
+		t.Fatalf("prune 2:\n%s", out)
+	}
+
+	out, _ = do(t, 0, "-dir", dir, "compact")
+	if !strings.Contains(out, "compacted: reclaimed ") || !strings.Contains(out, "1 entries") {
+		t.Fatalf("compact:\n%s", out)
+	}
+	// The pruned keys are gone for good; the survivor still replays.
+	do(t, 1, "-dir", dir, "get", "key-e16-a")
+	if text, _ := do(t, 0, "-dir", dir, "get", "key-e01"); text != "E01 table\n" {
+		t.Fatalf("survivor lost by compaction: %q", text)
+	}
+	stats, _ := do(t, 0, "-dir", dir, "stats")
+	if !strings.Contains(stats, `"entries": 1`) {
+		t.Fatalf("stats after compact:\n%s", stats)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	seedStore(t, dir)
+	out, _ := do(t, 0, "-dir", dir, "advance")
+	if !strings.Contains(out, "epoch 4") {
+		t.Fatalf("advance:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	cases := [][]string{
+		{"-dir", dir},                      // no command
+		{"-dir", dir, "obliterate"},        // unknown command
+		{"-dir", dir, "query"},             // missing argument
+		{"-dir", dir, "prune", "sideways"}, // non-numeric age
+		{"-dir", dir, "prune", "0"},        // zero age
+	}
+	for i, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("case %d %v exited 0", i, args)
+		} else if errOut.Len() == 0 {
+			t.Errorf("case %d %v produced no diagnostic", i, args)
+		}
+	}
+}

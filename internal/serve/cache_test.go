@@ -83,3 +83,91 @@ func TestCacheReplaceUpdatesBytes(t *testing.T) {
 		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
 	}
 }
+
+func TestCacheReplaceShrinkReleasesBudget(t *testing.T) {
+	c := NewCache(300, 0)
+	c.Put(entry("a", 250))
+	c.Put(entry("a", 10)) // shrink: budget headroom must come back
+	if st := c.Stats(); st.Bytes != entry("a", 10).size() {
+		t.Fatalf("bytes after shrink = %d, want %d", st.Bytes, entry("a", 10).size())
+	}
+	// The freed headroom is real: another entry now fits un-evicted.
+	c.Put(entry("b", 250))
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 0 {
+		t.Fatalf("shrink did not release budget: %+v", st)
+	}
+	if want := entry("a", 10).size() + entry("b", 250).size(); st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestCacheReplaceGrowEvictsAcrossBudget(t *testing.T) {
+	c := NewCache(300, 0)
+	c.Put(entry("a", 100))
+	c.Put(entry("b", 100))
+	// Growing a's entry crosses the byte budget: the LRU (b) must go,
+	// and the ledger must account the replacement exactly once.
+	c.Put(entry("a", 250))
+	st := c.Stats()
+	if c.Get("b") != nil {
+		t.Fatal("grow-replacement did not evict the LRU entry")
+	}
+	if e := c.Get("a"); e == nil || e.size() != entry("a", 250).size() {
+		t.Fatal("replacement lost the new value")
+	}
+	if st.Bytes != entry("a", 250).size() || st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("ledger after grow-replacement: %+v", st)
+	}
+}
+
+func TestCacheReplaceGrowNeverEvictsItself(t *testing.T) {
+	c := NewCache(300, 0)
+	c.Put(entry("a", 100))
+	c.Put(entry("a", 290)) // still within budget alone; must survive
+	st := c.Stats()
+	if st.Entries != 1 || st.Evictions != 0 || st.Bytes != entry("a", 290).size() {
+		t.Fatalf("self-eviction guard: %+v", st)
+	}
+	if c.Get("a") == nil {
+		t.Fatal("grown entry evicted itself")
+	}
+}
+
+func TestCacheUnboundedBytesNeverRejects(t *testing.T) {
+	for _, maxBytes := range []int64{0, -1} {
+		c := NewCache(maxBytes, 0)
+		c.Put(entry("huge", 1<<20))
+		st := c.Stats()
+		if st.Rejected != 0 || c.Get("huge") == nil {
+			t.Fatalf("maxBytes=%d rejected an entry: %+v", maxBytes, st)
+		}
+	}
+}
+
+// TestCacheBytesLedgerInvariant drives a deterministic mix of
+// inserts, replacements and evictions and checks the byte ledger
+// against a recount of what actually survived.
+func TestCacheBytesLedgerInvariant(t *testing.T) {
+	c := NewCache(2000, 8)
+	for i := range 200 {
+		key := fmt.Sprintf("k%d", i%13)
+		c.Put(entry(key, 37*(i%29)+1))
+		if i%7 == 0 {
+			c.Get(fmt.Sprintf("k%d", (i+3)%13))
+		}
+	}
+	var want int64
+	c.mu.Lock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		want += el.Value.(*Entry).size()
+	}
+	got := c.bytes
+	c.mu.Unlock()
+	if got != want {
+		t.Fatalf("byte ledger drifted: accounted %d, actual %d", got, want)
+	}
+	if st := c.Stats(); st.Bytes > 2000 || st.Entries > 8 {
+		t.Fatalf("budgets violated: %+v", st)
+	}
+}

@@ -27,8 +27,13 @@ type Pool struct {
 }
 
 // NewPool starts workers goroutines over a queue of the given depth,
-// executing run for each admitted job.
-func NewPool(workers, depth int, run func(ctx context.Context, j *job)) *Pool {
+// executing run for each admitted job. drop is the hard-stop path:
+// once the base context is cancelled (a drain ran out of patience),
+// still-queued jobs are handed to drop instead of run, so they
+// terminate as cancelled-before-start rather than surfacing a
+// spurious context.Canceled failure from a run that never should have
+// begun.
+func NewPool(workers, depth int, run func(ctx context.Context, j *job), drop func(j *job)) *Pool {
 	p := &Pool{queue: make(chan *job, depth)}
 	p.base, p.baseCancel = context.WithCancel(context.Background())
 	for range workers {
@@ -36,6 +41,10 @@ func NewPool(workers, depth int, run func(ctx context.Context, j *job)) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.queue {
+				if p.base.Err() != nil {
+					drop(j)
+					continue
+				}
 				run(p.base, j)
 			}
 		}()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/deep"
+	"repro/internal/store"
 )
 
 // Options configures a Server. Zero values take the documented
@@ -30,6 +31,11 @@ type Options struct {
 	// RetainJobs bounds how many terminal job records the server keeps
 	// for status queries (default 4096; the cache outlives the record).
 	RetainJobs int
+	// Store, when non-nil, persists finished results across restarts:
+	// the cache warm-starts from it on boot, LRU misses fall back to
+	// it, and completions write through. The caller owns the store's
+	// lifecycle (open before New, close after Drain).
+	Store *store.Store
 }
 
 // withDefaults fills the documented defaults.
@@ -62,6 +68,7 @@ type Server struct {
 	opts  Options
 	cache *Cache
 	pool  *Pool
+	store *store.Store
 	start time.Time
 
 	mu       sync.Mutex
@@ -70,9 +77,12 @@ type Server struct {
 	inflight map[string]*job // content key -> live primary job
 	seq      int
 
-	submitted uint64
-	cacheHits uint64
-	coalesced uint64
+	submitted   uint64
+	cacheHits   uint64
+	coalesced   uint64
+	storeHits   uint64
+	storeErrors uint64
+	warmed      int
 
 	// exec runs one normalized spec; it is execute in production and a
 	// seam for deterministic lifecycle tests.
@@ -88,11 +98,20 @@ type ServerStats struct {
 	CacheHits uint64 `json:"cache_hits"`
 	Coalesced uint64 `json:"coalesced"`
 	// Jobs breaks the retained records down by state.
-	Jobs     map[State]int `json:"jobs"`
-	Cache    CacheStats    `json:"cache"`
-	Workers  int           `json:"workers"`
-	Draining bool          `json:"draining"`
-	UptimeS  float64       `json:"uptime_s"`
+	Jobs  map[State]int `json:"jobs"`
+	Cache CacheStats    `json:"cache"`
+	// StoreHits counts jobs answered from the persistent store after an
+	// LRU miss; StoreErrors counts failed write-throughs; StoreWarmed is
+	// how many entries primed the cache on boot. Store carries the
+	// store's own size/segment/live-ratio stats, absent when the daemon
+	// runs without one.
+	StoreHits   uint64       `json:"store_hits"`
+	StoreErrors uint64       `json:"store_errors"`
+	StoreWarmed int          `json:"store_warmed"`
+	Store       *store.Stats `json:"store,omitempty"`
+	Workers     int          `json:"workers"`
+	Draining    bool         `json:"draining"`
+	UptimeS     float64      `json:"uptime_s"`
 }
 
 // New builds a Server and starts its worker pool.
@@ -105,7 +124,11 @@ func New(opts Options) *Server {
 		exec:     execute,
 	}
 	s.cache = NewCache(s.opts.CacheBytes, s.opts.CacheEntries)
-	s.pool = NewPool(s.opts.Workers, s.opts.QueueDepth, s.runJob)
+	s.store = s.opts.Store
+	if s.store != nil {
+		s.primeCache()
+	}
+	s.pool = NewPool(s.opts.Workers, s.opts.QueueDepth, s.runJob, s.dropJob)
 	return s
 }
 
@@ -165,8 +188,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, id := range s.order {
 		st.Jobs[s.jobs[id].status().State]++
 	}
+	st.StoreHits = s.storeHits
+	st.StoreErrors = s.storeErrors
+	st.StoreWarmed = s.warmed
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
+	if s.store != nil {
+		sst := s.store.Stats()
+		st.Store = &sst
+	}
 	st.Workers = s.opts.Workers
 	st.Draining = s.pool.Draining()
 	st.UptimeS = time.Since(s.start).Seconds()
@@ -222,6 +252,16 @@ func (s *Server) admit(key string, spec *JobSpec) (*job, error) {
 	j := newJob(fmt.Sprintf("j-%06d", s.seq), key, spec)
 
 	if entry := s.cache.Get(key); entry != nil {
+		s.submitted++
+		s.cacheHits++
+		s.register(j)
+		j.finish(StateDone, entry, "", true)
+		if s.store != nil {
+			s.store.Touch(key) //nolint:errcheck // advisory liveness marker
+		}
+		return j, nil
+	}
+	if entry := s.storeLookup(key); entry != nil {
 		s.submitted++
 		s.cacheHits++
 		s.register(j)
@@ -325,7 +365,16 @@ func (s *Server) runJob(base context.Context, j *job) {
 		return
 	}
 	s.cache.Put(entry)
+	s.storeWrite(entry, j.spec)
 	j.finish(StateDone, entry, "", false)
+}
+
+// dropJob is the pool's hard-stop path: a drain timed out, the base
+// context is cancelled, and this job was still queued — it terminates
+// as cancelled without ever executing.
+func (s *Server) dropJob(j *job) {
+	s.release(j)
+	j.finish(StateCancelled, nil, "cancelled: daemon drained before the job started", false)
 }
 
 // release drops the job from the in-flight index.

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The on-disk record kinds. Every mutation is an appended record, so
+// the segment log is a full history and the index is always
+// rebuildable by a forward scan.
+const (
+	// recPut stores a full entry under its key.
+	recPut byte = 1
+	// recDelete tombstones a key.
+	recDelete byte = 2
+	// recTouch refreshes a key's epoch without rewriting its payload.
+	recTouch byte = 3
+	// recEpoch persists an epoch advance (no key).
+	recEpoch byte = 4
+)
+
+// recHeaderLen is the fixed per-record header: a uint32 body length
+// followed by a uint32 CRC-32C of the body.
+const recHeaderLen = 8
+
+// maxRecordBytes is a sanity bound on a single record; a length
+// prefix beyond it is treated as corruption, not an allocation order.
+const maxRecordBytes = 1 << 30
+
+// castagnoli is the CRC-32C table (the same polynomial storage
+// engines conventionally use for record checksums).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is the decoded form of one log record.
+type record struct {
+	kind  byte
+	epoch uint64
+	key   string
+	entry *Entry // filled for recPut only
+}
+
+// appendUvarint appends v in unsigned varint form.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendBlob appends a length-prefixed byte string.
+func appendBlob(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// encodeRecord renders a record as header+body bytes ready to append
+// to a segment. entry is consulted for recPut only.
+func encodeRecord(kind byte, epoch uint64, key string, entry *Entry) []byte {
+	body := make([]byte, 0, 64)
+	body = append(body, kind)
+	body = appendUvarint(body, epoch)
+	body = appendBlob(body, []byte(key))
+	if kind == recPut {
+		body = appendBlob(body, []byte(entry.Meta))
+		if entry.Verified {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+		body = appendBlob(body, entry.Result)
+		body = appendBlob(body, entry.Text)
+		body = appendBlob(body, entry.Trace)
+		body = appendBlob(body, entry.Metrics)
+	}
+	rec := make([]byte, recHeaderLen, recHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(body, castagnoli))
+	return append(rec, body...)
+}
+
+// bodyReader cursors over a record body.
+type bodyReader struct {
+	b   []byte
+	off int
+}
+
+func (r *bodyReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("store: record body truncated at %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *bodyReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("store: bad uvarint at %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *bodyReader) blob() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("store: blob of %d bytes overruns body", n)
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+// decodeBody parses a CRC-verified record body. Payload slices alias
+// the input; callers that retain them must copy (Get copies by
+// reading a fresh buffer per call).
+func decodeBody(body []byte) (record, error) {
+	r := &bodyReader{b: body}
+	var rec record
+	kind, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	if kind < recPut || kind > recEpoch {
+		return rec, fmt.Errorf("store: unknown record kind %d", kind)
+	}
+	rec.kind = kind
+	if rec.epoch, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	key, err := r.blob()
+	if err != nil {
+		return rec, err
+	}
+	rec.key = string(key)
+	if kind != recPut {
+		return rec, nil
+	}
+	e := &Entry{Key: rec.key}
+	meta, err := r.blob()
+	if err != nil {
+		return rec, err
+	}
+	e.Meta = string(meta)
+	verified, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	e.Verified = verified != 0
+	for _, field := range []*[]byte{&e.Result, &e.Text, &e.Trace, &e.Metrics} {
+		p, err := r.blob()
+		if err != nil {
+			return rec, err
+		}
+		if len(p) > 0 {
+			*field = p
+		}
+	}
+	rec.entry = e
+	return rec, nil
+}

@@ -1,0 +1,26 @@
+package store
+
+// RunView adapts a Store to the payload-per-key view the deep
+// Runner's resumable sweeps consult (it satisfies deep.RunStore).
+// Lookups touch the key, so resumed sweeps keep their points clear of
+// epoch-based pruning.
+type RunView struct {
+	Store *Store
+}
+
+// LookupRun returns the stored run payload for key, or false when the
+// key is absent or unreadable.
+func (v RunView) LookupRun(key string) ([]byte, bool) {
+	e, ok, err := v.Store.Get(key)
+	if err != nil || !ok || len(e.Result) == 0 {
+		return nil, false
+	}
+	v.Store.Touch(key) //nolint:errcheck // advisory epoch refresh
+	return e.Result, true
+}
+
+// StoreRun persists a finished run's payload and rendered text under
+// key, tagged with its experiment id.
+func (v RunView) StoreRun(key, experiment string, payload, text []byte) error {
+	return v.Store.Put(&Entry{Key: key, Meta: experiment, Verified: true, Result: payload, Text: text})
+}
