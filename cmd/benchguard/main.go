@@ -14,8 +14,17 @@
 // relative band — the simulated joules are deterministic, so any
 // drift is a model change, not noise.
 //
+// With -speedup the gate additionally enforces the baseline's
+// min_speedup block: each listed experiment's BENCH file must carry a
+// -speedup curve whose point at the required domain count meets the
+// minimum parallel speedup. -only restricts the wall-clock gate to a
+// subset of baseline IDs, so a job that only produced the parallel
+// BENCH files does not fail on the serial ones it never ran.
+//
 //	go run ./cmd/deepbench -bench 3 -json -energy -run E01,E04,E08,E12,E15,E16
 //	go run ./cmd/benchguard
+//	go run ./cmd/deepbench -bench 2 -json -run E15 -speedup 1,2,4
+//	go run ./cmd/benchguard -only E15 -speedup
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // baseline is the checked-in wire format (ci/bench-baseline.json).
@@ -44,22 +54,52 @@ type baseline struct {
 	// BaselinesJ maps experiment ID to the reference energy total in
 	// joules, as deepbench -bench -json -energy records it.
 	BaselinesJ map[string]float64 `json:"baselines_j"`
+	// MinSpeedup maps experiment ID to the required parallel speedup
+	// at a given domain count, checked only under -speedup. Unlike the
+	// wall-clock baselines this is a relative measurement on the same
+	// host, so it tolerates slow runners without a generous factor.
+	MinSpeedup map[string]speedupGate `json:"min_speedup,omitempty"`
+}
+
+// speedupGate is one min_speedup requirement: the experiment's
+// -speedup curve must reach Speedup at Domains.
+type speedupGate struct {
+	Domains int     `json:"domains"`
+	Speedup float64 `json:"speedup"`
 }
 
 // benchResult mirrors cmd/deepbench's BENCH_<id>.json schema.
 type benchResult struct {
-	ID      string  `json:"id"`
-	Runs    int     `json:"runs"`
+	ID      string         `json:"id"`
+	Runs    int            `json:"runs"`
+	MsPerOp float64        `json:"ms_per_op"`
+	Joules  float64        `json:"joules"`
+	Speedup []speedupPoint `json:"speedup"`
+}
+
+// speedupPoint mirrors one entry of deepbench's -speedup curve.
+type speedupPoint struct {
+	Domains int     `json:"domains"`
 	MsPerOp float64 `json:"ms_per_op"`
-	Joules  float64 `json:"joules"`
+	Speedup float64 `json:"speedup"`
 }
 
 func main() {
 	var (
-		baseFlag = flag.String("baseline", "ci/bench-baseline.json", "baseline file")
-		dirFlag  = flag.String("dir", ".", "directory holding BENCH_<id>.json files")
+		baseFlag    = flag.String("baseline", "ci/bench-baseline.json", "baseline file")
+		dirFlag     = flag.String("dir", ".", "directory holding BENCH_<id>.json files")
+		onlyFlag    = flag.String("only", "", "comma-separated baseline IDs to gate (default: all)")
+		speedupFlag = flag.Bool("speedup", false, "also enforce the baseline's min_speedup block")
 	)
 	flag.Parse()
+
+	only := map[string]bool{}
+	for _, id := range strings.Split(*onlyFlag, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			only[id] = true
+		}
+	}
+	gated := func(id string) bool { return len(only) == 0 || only[id] }
 
 	raw, err := os.ReadFile(*baseFlag)
 	if err != nil {
@@ -78,7 +118,9 @@ func main() {
 
 	ids := make([]string, 0, len(base.BaselinesMs))
 	for id := range base.BaselinesMs {
-		ids = append(ids, id)
+		if gated(id) {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 
@@ -115,10 +157,14 @@ func main() {
 		}
 		eids := make([]string, 0, len(base.BaselinesJ))
 		for id := range base.BaselinesJ {
-			eids = append(eids, id)
+			if gated(id) {
+				eids = append(eids, id)
+			}
 		}
 		sort.Strings(eids)
-		fmt.Printf("\n%-5s %14s %14s %8s %8s\n", "id", "joules", "baseline_j", "band", "verdict")
+		if len(eids) > 0 {
+			fmt.Printf("\n%-5s %14s %14s %8s %8s\n", "id", "joules", "baseline_j", "band", "verdict")
+		}
 		for _, id := range eids {
 			want := base.BaselinesJ[id]
 			res := results[id]
@@ -134,6 +180,54 @@ func main() {
 				failed = true
 			}
 			fmt.Printf("%-5s %14.1f %14.1f %8.2f %8s\n", id, res.Joules, want, tol, verdict)
+		}
+	}
+	if *speedupFlag && len(base.MinSpeedup) > 0 {
+		sids := make([]string, 0, len(base.MinSpeedup))
+		for id := range base.MinSpeedup {
+			if gated(id) {
+				sids = append(sids, id)
+			}
+		}
+		sort.Strings(sids)
+		if len(sids) > 0 {
+			fmt.Printf("\n%-5s %8s %10s %10s %8s\n", "id", "domains", "speedup", "required", "verdict")
+		}
+		for _, id := range sids {
+			want := base.MinSpeedup[id]
+			res := results[id]
+			if res == nil {
+				// The speedup curve may live in its own BENCH file not
+				// covered by baselines_ms; load it directly.
+				path := filepath.Join(*dirFlag, "BENCH_"+id+".json")
+				raw, err := os.ReadFile(path)
+				if err == nil {
+					res = &benchResult{}
+					if json.Unmarshal(raw, res) != nil {
+						res = nil
+					}
+				}
+			}
+			var point *speedupPoint
+			if res != nil {
+				for i := range res.Speedup {
+					if res.Speedup[i].Domains == want.Domains {
+						point = &res.Speedup[i]
+					}
+				}
+			}
+			if point == nil {
+				fmt.Printf("%-5s %8d %10s %10.2f %8s  (run deepbench -bench -json -speedup)\n",
+					id, want.Domains, "-", want.Speedup, "MISSING")
+				failed = true
+				continue
+			}
+			verdict := "ok"
+			if point.Speedup < want.Speedup {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-5s %8d %10.2f %10.2f %8s\n", id, want.Domains, point.Speedup, want.Speedup, verdict)
 		}
 	}
 	if failed {

@@ -27,6 +27,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,20 +50,71 @@ func (w writeOnlyStore) StoreRun(key, experiment string, payload, text []byte) e
 // by cmd/benchguard in CI to catch wall-clock regressions. Joules is
 // the experiment's machine-readable energy total (non-zero only for
 // experiments that publish one, e.g. E16) so energy regressions gate
-// CI like time regressions do.
+// CI like time regressions do. GoMaxProcs and Domains record the
+// host parallelism and the simulation-kernel domain count the timing
+// was taken at; Speedup carries the -speedup curve.
 type benchResult struct {
-	ID       string  `json:"id"`
-	Title    string  `json:"title"`
-	Fidelity string  `json:"fidelity"`
-	Runs     int     `json:"runs"`
-	NsPerOp  int64   `json:"ns_per_op"`
-	MsPerOp  float64 `json:"ms_per_op"`
-	Joules   float64 `json:"joules,omitempty"`
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	Fidelity   string         `json:"fidelity"`
+	Runs       int            `json:"runs"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Domains    int            `json:"domains,omitempty"`
+	MaxNodes   int            `json:"max_nodes,omitempty"`
+	NsPerOp    int64          `json:"ns_per_op"`
+	MsPerOp    float64        `json:"ms_per_op"`
+	Joules     float64        `json:"joules,omitempty"`
+	Speedup    []speedupPoint `json:"speedup,omitempty"`
+}
+
+// speedupPoint is one domain count of a -speedup curve; Speedup is
+// relative to the curve's first entry (conventionally K=1, the exact
+// sequential kernel).
+type speedupPoint struct {
+	Domains int     `json:"domains"`
+	MsPerOp float64 `json:"ms_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// benchKey names the BENCH file for a runner configuration:
+// non-default kernel configurations get their own files (and their
+// own baseline keys) so they never shadow the default timing.
+func benchKey(id string, domains, maxNodes int) string {
+	if domains > 1 {
+		id = fmt.Sprintf("%s_d%d", id, domains)
+	}
+	if maxNodes > 0 {
+		id = fmt.Sprintf("%s_n%d", id, maxNodes)
+	}
+	return id
+}
+
+// timeBest runs one experiment reps times and returns the best
+// wall-clock duration plus the last table's machine-readable summary.
+func timeBest(ctx context.Context, runner *deep.Runner, id string, reps int) (time.Duration, map[string]float64, error) {
+	best := time.Duration(0)
+	var summary map[string]float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		rep, err := runner.Run(ctx, id)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bench %s: %w", id, err)
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+		if t := rep.Results[0].Table; t != nil {
+			summary = t.Summary
+		}
+	}
+	return best, summary, nil
 }
 
 // runBench times each experiment over reps repetitions (best-of) and
-// either prints a table or writes BENCH_<id>.json files into dir.
-func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, asJSON bool, dir string) error {
+// either prints a table or writes BENCH_<key>.json files into dir.
+// A non-empty curve re-times each experiment at every listed domain
+// count and records the speedup relative to the first entry.
+func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, asJSON bool, dir string, curve []int) error {
 	if len(ids) == 0 {
 		ids = deep.ExperimentIDs()
 	}
@@ -71,30 +124,41 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 	}
 	var results []benchResult
 	for _, id := range ids {
-		best := time.Duration(0)
-		var joules float64
-		for r := 0; r < reps; r++ {
-			start := time.Now()
-			rep, err := runner.Run(ctx, id)
-			if err != nil {
-				return fmt.Errorf("bench %s: %w", id, err)
-			}
-			if d := time.Since(start); r == 0 || d < best {
-				best = d
-			}
-			if t := rep.Results[0].Table; t != nil {
-				joules = t.Summary["joules"]
-			}
+		best, summary, err := timeBest(ctx, runner, id, reps)
+		if err != nil {
+			return err
 		}
-		results = append(results, benchResult{
-			ID:       id,
-			Title:    infos[id].Title,
-			Fidelity: runner.Fidelity.String(),
-			Runs:     reps,
-			NsPerOp:  best.Nanoseconds(),
-			MsPerOp:  float64(best.Nanoseconds()) / 1e6,
-			Joules:   joules,
-		})
+		res := benchResult{
+			ID:         benchKey(id, runner.Domains, runner.MaxNodes),
+			Title:      infos[id].Title,
+			Fidelity:   runner.Fidelity.String(),
+			Runs:       reps,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Domains:    runner.Domains,
+			MaxNodes:   runner.MaxNodes,
+			NsPerOp:    best.Nanoseconds(),
+			MsPerOp:    float64(best.Nanoseconds()) / 1e6,
+			Joules:     summary["joules"],
+		}
+		var refMs float64
+		for _, k := range curve {
+			kr := *runner
+			kr.Domains = k
+			kbest, _, err := timeBest(ctx, &kr, id, reps)
+			if err != nil {
+				return err
+			}
+			ms := float64(kbest.Nanoseconds()) / 1e6
+			if refMs == 0 {
+				refMs = ms
+			}
+			res.Speedup = append(res.Speedup, speedupPoint{
+				Domains: k,
+				MsPerOp: ms,
+				Speedup: refMs / ms,
+			})
+		}
+		results = append(results, res)
 	}
 	if asJSON {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -116,6 +180,9 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 	fmt.Printf("%-5s %-10s %5s %12s\n", "id", "fidelity", "runs", "ms/op")
 	for _, res := range results {
 		fmt.Printf("%-5s %-10s %5d %12.3f\n", res.ID, res.Fidelity, res.Runs, res.MsPerOp)
+		for _, p := range res.Speedup {
+			fmt.Printf("      domains=%-3d %5s %12.3f  (x%.2f)\n", p.Domains, "", p.MsPerOp, p.Speedup)
+		}
 	}
 	return nil
 }
@@ -155,6 +222,9 @@ func main() {
 		sampleFlag   = flag.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
 		storeFlag    = flag.String("store", "", "persist finished points to an append-only store in this directory")
 		resumeFlag   = flag.Bool("resume", false, "skip points already in -store (resume a killed sweep)")
+		domainsFlag  = flag.Int("domains", 0, "simulation-kernel domains: 0/1 sequential, K>1 partitioned parallel kernel, -1 = GOMAXPROCS")
+		maxNodesFlag = flag.Int("maxnodes", 0, "bound sweep machine sizes; >103823 adds E15's million-node point (needs -domains >= 2)")
+		speedupFlag  = flag.String("speedup", "", "bench mode: comma-separated domain counts to re-time (e.g. 1,2,4,8); speedups are relative to the first")
 	)
 	flag.Parse()
 
@@ -189,10 +259,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity, Energy: *energyFlag}
+	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity, Energy: *energyFlag,
+		Domains: *domainsFlag, MaxNodes: *maxNodesFlag}
 	runner.Tracing = *traceFlag != ""
 	if *metricsFlag != "" {
 		runner.MetricsEvery = *sampleFlag
+	}
+
+	var curve []int
+	if *speedupFlag != "" {
+		if *benchFlag <= 0 {
+			fmt.Fprintln(os.Stderr, "deepbench: -speedup needs -bench (it is a timing curve)")
+			os.Exit(1)
+		}
+		for _, s := range strings.Split(*speedupFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "deepbench: -speedup %q: want positive domain counts\n", *speedupFlag)
+				os.Exit(1)
+			}
+			curve = append(curve, k)
+		}
 	}
 
 	if *resumeFlag && *storeFlag == "" {
@@ -225,7 +312,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "deepbench: -trace/-metrics cannot be combined with -bench (observation would skew the timings)")
 			os.Exit(1)
 		}
-		if err := runBench(ctx, runner, ids, *benchFlag, *jsonFlag, *benchDirFlag); err != nil {
+		if err := runBench(ctx, runner, ids, *benchFlag, *jsonFlag, *benchDirFlag, curve); err != nil {
 			fmt.Fprintf(os.Stderr, "deepbench: %v\n", err)
 			os.Exit(1)
 		}

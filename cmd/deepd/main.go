@@ -63,6 +63,7 @@ func main() {
 		deadline     = flag.Duration("deadline", 10*time.Minute, "default per-job wall-clock deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		storeDir     = flag.String("store", "", "persist results to an append-only store in this directory (empty: memory only)")
+		domains      = flag.Int("domains", 0, "default parallel-kernel domain count for specs that set none (0: sequential; part of the content address)")
 	)
 	flag.Parse()
 
@@ -96,6 +97,7 @@ func main() {
 		CacheBytes:      cacheBytes,
 		CacheEntries:    *cacheEntries,
 		DefaultDeadline: *deadline,
+		DefaultDomains:  *domains,
 		Store:           st,
 	})
 	httpSrv := &http.Server{

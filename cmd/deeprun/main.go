@@ -8,6 +8,7 @@
 //	deeprun -app spmv -nx 32 -ny 32 -iters 10 -ranks 4
 //	deeprun -app stencil -nx 64 -ny 64 -iters 20 -ranks 8
 //	deeprun -app nbody -n 64 -iters 10 -ranks 4
+//	deeprun -app traffic -nx 8 -ny 8 -nz 8 -domains 4 -msgs 8192
 //	deeprun -app spmv -ranks 4 -energy
 //	deeprun -app jobs -jobs 24 -dynamic -mtbf 120 -trace t.json -metrics m.csv
 //	deeprun -app spmv -store results          # persist the run
@@ -77,7 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("deeprun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		app      = fs.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody | jobs")
+		app      = fs.String("app", "cholesky", "workload: cholesky | spmv | stencil | nbody | jobs | traffic")
 		n        = fs.Int("n", 64, "cholesky matrix dimension / nbody body count")
 		ts       = fs.Int("ts", 16, "cholesky tile size")
 		workers  = fs.Int("workers", 8, "cholesky OmpSs workers")
@@ -98,6 +99,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sample   = fs.Float64("sample", 0.1, "metrics sampling interval in virtual seconds (with -metrics)")
 		storeDir = fs.String("store", "", "persist the run to an append-only store in this directory")
 		resume   = fs.Bool("resume", false, "replay a stored identical run from -store instead of simulating")
+		domains  = fs.Int("domains", 0, "simulation-kernel domain count (0 or 1: sequential kernel; <0: GOMAXPROCS)")
+		nz       = fs.Int("nz", 8, "traffic: booster torus Z dimension (with -nx/-ny)")
+		msgs     = fs.Int("msgs", 4096, "traffic: number of point-to-point messages")
+		msgBytes = fs.Int("msgbytes", 2048, "traffic: payload bytes per message")
+		windowMS = fs.Float64("window", 1, "traffic: injection window in virtual milliseconds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,7 +134,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer st.Close()
 		// The content address covers every knob that shapes the output:
 		// identical invocations hash identically, anything else is a
-		// different point.
+		// different point. Knobs that only exist for one app are zeroed
+		// for every other app, and new knobs carry omitempty, so hashes
+		// of historical invocations are unchanged.
+		tMsgs, tBytes, tWindow, tNZ := 0, 0, 0.0, 0
+		if *app == "traffic" {
+			tMsgs, tBytes, tWindow, tNZ = *msgs, *msgBytes, *windowMS, *nz
+		}
 		storeKey, err = deep.ContentHash(struct {
 			V        int     `json:"v"`
 			Kind     string  `json:"kind"`
@@ -148,8 +160,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Dynamic  bool    `json:"dynamic"`
 			MTBF     float64 `json:"mtbf"`
 			Boosters int     `json:"boosters"`
+			Domains  int     `json:"domains,omitempty"`
+			NZ       int     `json:"nz,omitempty"`
+			Msgs     int     `json:"msgs,omitempty"`
+			MsgBytes int     `json:"msgbytes,omitempty"`
+			WindowMS float64 `json:"window_ms,omitempty"`
 		}{1, "deeprun", *app, *n, *ts, *workers, *nx, *ny, *iters, *ranks,
-			*seed, fid.String(), *energy, *tol, *jobCount, *dynamic, *mtbf, *boosters})
+			*seed, fid.String(), *energy, *tol, *jobCount, *dynamic, *mtbf, *boosters,
+			*domains, tNZ, tMsgs, tBytes, tWindow})
 		if err != nil {
 			return fail(err)
 		}
@@ -179,6 +197,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		w = deep.NBody{N: *n, Steps: *iters}
 	case "jobs":
 		w = deep.ScheduledJobs{Jobs: syntheticJobs(*jobCount, *seed), Dynamic: *dynamic}
+	case "traffic":
+		w = deep.TorusTraffic{Messages: *msgs, Bytes: *msgBytes, WindowMS: *windowMS}
 	default:
 		return fail(fmt.Errorf("unknown app %q", *app))
 	}
@@ -197,6 +217,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *mtbf > 0 {
 			opts = append(opts, deep.WithFaultInjector(deep.FaultPlan{NodeMTBF: *mtbf, Repair: 5}))
 		}
+	}
+	if *app == "traffic" {
+		opts = append(opts, deep.WithBoosterTorus(*nx, *ny, *nz))
+	}
+	if *domains != 0 {
+		opts = append(opts, deep.WithDomains(*domains))
 	}
 	if *energy {
 		opts = append(opts, deep.WithEnergyMetering())

@@ -8,6 +8,7 @@
 //	deeptrace -top 25 trace.json           # more critical-path suspects
 //	deeptrace -validate trace.json         # schema check, non-zero exit on violations
 //	deeptrace -require fault,requeue t.json  # assert event kinds are present
+//	deeptrace -domains trace.json          # per-domain blocked-time from a parallel-kernel run
 package main
 
 import (
@@ -182,11 +183,80 @@ func summarize(events []obs.ChromeEvent, top int) {
 	}
 }
 
+// threadNames maps (pid, tid) -> thread_name metadata.
+func threadNames(events []obs.ChromeEvent) map[[2]int]string {
+	names := map[[2]int]string{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				names[[2]int{e.Pid, e.Tid}] = n
+			}
+		}
+	}
+	return names
+}
+
+// domainSummary reports how the parallel kernel's domains spent their
+// synchronization windows: the "blocked" spans on the per-domain lanes
+// (category "domains") record every window a domain sat out waiting
+// for its neighbours' clocks. It prints blocked time and span count
+// per domain lane, sorted by blocked time.
+func domainSummary(events []obs.ChromeEvent) {
+	procs := processNames(events)
+	threads := threadNames(events)
+	type lane struct {
+		pid, tid int
+		blocked  float64
+		spans    int
+	}
+	lanes := map[[2]int]*lane{}
+	for _, e := range events {
+		if e.Ph != "X" || e.Cat != "domains" || e.Name != "blocked" {
+			continue
+		}
+		k := [2]int{e.Pid, e.Tid}
+		l := lanes[k]
+		if l == nil {
+			l = &lane{pid: e.Pid, tid: e.Tid}
+			lanes[k] = l
+		}
+		l.blocked += e.Dur
+		l.spans++
+	}
+	if len(lanes) == 0 {
+		fmt.Println("no parallel-kernel domain lanes in this trace (record one with -domains > 1)")
+		return
+	}
+	all := make([]*lane, 0, len(lanes))
+	for _, l := range lanes {
+		all = append(all, l)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].blocked != all[j].blocked {
+			return all[i].blocked > all[j].blocked
+		}
+		return all[i].tid < all[j].tid
+	})
+	fmt.Printf("domain blocked-time (%d lanes):\n", len(all))
+	for _, l := range all {
+		name := threads[[2]int{l.pid, l.tid}]
+		if name == "" {
+			name = fmt.Sprintf("tid %d", l.tid)
+		}
+		proc := procs[l.pid]
+		if proc == "" {
+			proc = fmt.Sprintf("pid %d", l.pid)
+		}
+		fmt.Printf("  %-12s %12.3f ms blocked in %5d windows  %s\n", name, l.blocked/1e3, l.spans, proc)
+	}
+}
+
 func main() {
 	var (
 		top          = flag.Int("top", 10, "number of longest spans to list")
 		validateFlag = flag.Bool("validate", false, "check the trace against the event schema; exit 1 on violations")
 		require      = flag.String("require", "", "comma-separated event name/category substrings that must be present; exit 1 when missing")
+		domainsFlag  = flag.Bool("domains", false, "summarise per-domain blocked time from a parallel-kernel run")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -226,7 +296,11 @@ func main() {
 		}
 	}
 
-	summarize(events, *top)
+	if *domainsFlag {
+		domainSummary(events)
+	} else {
+		summarize(events, *top)
+	}
 	if !ok {
 		os.Exit(1)
 	}

@@ -30,6 +30,7 @@ package deep
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cbp"
 	"repro/internal/fabric"
@@ -94,6 +95,7 @@ type Machine struct {
 	boosterPower   *PowerModel
 	tracing        bool
 	metricsEvery   float64
+	domains        int
 }
 
 // PowerModel overrides a node class's electrical parameters. Zero
@@ -232,6 +234,15 @@ func WithMetrics(sampleSeconds float64) Option {
 	return func(m *Machine) { m.metricsEvery = sampleSeconds }
 }
 
+// WithDomains selects the simulation kernel for workloads that can
+// partition the booster torus spatially (TorusTraffic): 0 or 1 (the
+// default) runs the exact sequential kernel; k > 1 runs k domain
+// engines — one goroutine each — under conservative window
+// synchronization, with cross-domain messages merged deterministically
+// at window boundaries. Output is byte-stable per fixed k, not across
+// k. A negative value resolves to GOMAXPROCS at run time.
+func WithDomains(k int) Option { return func(m *Machine) { m.domains = k } }
+
 // WithClusterPowerModel overrides the cluster-side (Xeon) electrical
 // parameters.
 func WithClusterPowerModel(p PowerModel) Option {
@@ -342,6 +353,19 @@ func (m *Machine) Seed() uint64 { return m.seed }
 
 // Fidelity returns the machine's fabric simulation fidelity.
 func (m *Machine) Fidelity() Fidelity { return m.fidelity }
+
+// Domains returns the effective simulation-kernel domain count: 1 for
+// the sequential kernel, K > 1 for the partitioned kernel (negative
+// configurations resolve to GOMAXPROCS).
+func (m *Machine) Domains() int {
+	if m.domains == 0 || m.domains == 1 {
+		return 1
+	}
+	if m.domains < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return m.domains
+}
 
 // String summarises the machine configuration.
 func (m *Machine) String() string {

@@ -18,10 +18,41 @@ type KernelStats struct {
 	ExecutedEvents  uint64 `json:"executed_events"`
 	ScheduledEvents uint64 `json:"scheduled_events"`
 	CancelledEvents uint64 `json:"cancelled_events"`
-	// MaxQueueDepth is the high-water mark of pending events.
+	// MaxQueueDepth is the high-water mark of pending events. Under
+	// the partitioned kernel it is the maximum over the domain
+	// engines (depths are engine-local; summing them would overstate
+	// a machine-wide queue that never exists).
 	MaxQueueDepth int `json:"max_queue_depth"`
-	// PoolHitRate is the event free-list hit rate (reused over total).
+	// PoolHitRate is the event free-list hit rate (reused over
+	// total), aggregated over every domain engine's pool under the
+	// partitioned kernel. It is an allocator diagnostic, not a model
+	// output: sync.Pool reuse depends on the runtime scheduler, so
+	// this one field sits outside the byte-stability contract when
+	// domains run concurrently.
 	PoolHitRate float64 `json:"pool_hit_rate"`
+	// Domains, Windows and CrossEvents describe the partitioned
+	// kernel's run: the domain count, completed conservative
+	// synchronization windows, and events merged across domain
+	// boundaries. All zero (and absent from JSON) under the
+	// sequential kernel.
+	Domains     int    `json:"domains,omitempty"`
+	Windows     uint64 `json:"windows,omitempty"`
+	CrossEvents uint64 `json:"cross_events,omitempty"`
+	// PerDomain breaks the counters down by domain engine, present
+	// only under the partitioned kernel.
+	PerDomain []DomainKernelStats `json:"per_domain,omitempty"`
+}
+
+// DomainKernelStats is one domain engine's share of a partitioned
+// run.
+type DomainKernelStats struct {
+	Domain          int    `json:"domain"`
+	ExecutedEvents  uint64 `json:"executed_events"`
+	ScheduledEvents uint64 `json:"scheduled_events"`
+	MaxQueueDepth   int    `json:"max_queue_depth"`
+	// BlockedWindows counts the synchronization windows this domain
+	// sat out waiting for its neighbours' clocks.
+	BlockedWindows uint64 `json:"blocked_windows"`
 }
 
 // kernelStats converts an engine snapshot into the public form.
@@ -34,6 +65,28 @@ func kernelStats(st sim.Stats) *KernelStats {
 	}
 	if total := st.Allocs + st.Reused; total > 0 {
 		k.PoolHitRate = float64(st.Reused) / float64(total)
+	}
+	return k
+}
+
+// clusterKernelStats converts a partitioned-kernel snapshot: the
+// aggregate counters are summed coherently across the domain engines
+// (max-depth as a maximum, pool hits over the pooled totals), with
+// the per-domain breakdown attached.
+func clusterKernelStats(cs sim.ClusterStats) *KernelStats {
+	k := kernelStats(cs.Agg)
+	k.Domains = cs.Domains
+	k.Windows = cs.Windows
+	k.CrossEvents = cs.CrossEvents
+	k.PerDomain = make([]DomainKernelStats, len(cs.PerDomain))
+	for i, d := range cs.PerDomain {
+		k.PerDomain[i] = DomainKernelStats{
+			Domain:          d.Domain,
+			ExecutedEvents:  d.Executed,
+			ScheduledEvents: d.Scheduled,
+			MaxQueueDepth:   d.MaxQueueDepth,
+			BlockedWindows:  d.BlockedWindows,
+		}
 	}
 	return k
 }

@@ -146,6 +146,18 @@ type Runner struct {
 	// fed by the event-driven energy recorder. Off keeps the
 	// published tables byte-identical.
 	Energy bool
+	// Domains selects the simulation kernel for experiments with a
+	// spatial partition (E15): 0 or 1 keeps the sequential kernel
+	// (byte-identical to the published tables), K > 1 runs K domain
+	// engines under conservative window synchronization (output is
+	// byte-stable per fixed K, not across K), negative resolves to
+	// GOMAXPROCS.
+	Domains int
+	// MaxNodes, when positive, bounds the machine sizes sweep
+	// experiments visit; raising it past the sequential ceiling
+	// (~100k nodes) adds E15's million-node point, which requires
+	// Domains > 1.
+	MaxNodes int
 	// Tracing records a virtual-time trace of every event-driven
 	// experiment run; export the merged trace with
 	// Report.WriteChromeTrace. Off keeps runs trace-free.
@@ -201,7 +213,8 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		}
 		o.OnObserve = r.Progress
 	}
-	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity), Energy: r.Energy, Obs: o}
+	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity),
+		Energy: r.Energy, Domains: r.Domains, MaxNodes: r.MaxNodes, Obs: o}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}

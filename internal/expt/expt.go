@@ -8,6 +8,7 @@ package expt
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/fabric"
@@ -40,6 +41,18 @@ type Config struct {
 	// byte-identical; E16 is inherently an energy experiment and
 	// reports energy regardless.
 	Energy bool
+	// Domains selects the simulation kernel for experiments that can
+	// partition their machine spatially (E15). 0 or 1 runs the exact
+	// sequential kernel — byte-identical to every published table; K >
+	// 1 runs K domain engines under conservative window
+	// synchronization (output is byte-stable per K, not across K); a
+	// negative value resolves to GOMAXPROCS.
+	Domains int
+	// MaxNodes, when non-zero, bounds the machine sizes a sweep
+	// experiment visits. The default sweeps stop near 100k nodes (the
+	// sequential kernel's practical ceiling); raising MaxNodes to 10^6
+	// adds E15's edge-100 point, which requires Domains > 1.
+	MaxNodes int
 	// Obs, when non-nil, is the observability hub engine-backed
 	// experiment runs publish into: virtual-time trace spans (when its
 	// tracing is on) and metrics timeseries (when sampling is on). Nil
@@ -71,6 +84,28 @@ func (c *Config) fidelity(def fabric.Fidelity) fabric.Fidelity {
 
 // energyOn reports whether energy reporting is enabled.
 func (c *Config) energyOn() bool { return c != nil && c.Energy }
+
+// domains resolves the effective domain count: 1 for the sequential
+// kernel, K > 1 for the partitioned kernel, GOMAXPROCS for negative
+// values.
+func (c *Config) domains() int {
+	if c == nil || c.Domains == 0 || c.Domains == 1 {
+		return 1
+	}
+	if c.Domains < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Domains
+}
+
+// maxNodes resolves the sweep size bound given an experiment's
+// default ceiling.
+func (c *Config) maxNodes(def int) int {
+	if c == nil || c.MaxNodes <= 0 {
+		return def
+	}
+	return c.MaxNodes
+}
 
 // observe opens an observability lane for one simulation run. The
 // label becomes the run's trace process name and metrics run id; it

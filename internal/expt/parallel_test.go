@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/stats"
+)
+
+// TestE15SweepSelection pins the edge-list policy: the default sweep
+// stops at the sequential ceiling, MaxNodes extends it, and the
+// million-node point is refused without the partitioned kernel.
+func TestE15SweepSelection(t *testing.T) {
+	def, err := e15Sweep(DefaultConfig())
+	if err != nil || !reflect.DeepEqual(def, []int{10, 16, 25, 40, 47}) {
+		t.Fatalf("default sweep = %v, %v", def, err)
+	}
+	small, err := e15Sweep(&Config{Scale: 1, MaxNodes: 5000})
+	if err != nil || !reflect.DeepEqual(small, []int{10, 16}) {
+		t.Fatalf("MaxNodes 5000 sweep = %v, %v", small, err)
+	}
+	if _, err := e15Sweep(&Config{Scale: 1, MaxNodes: 1_000_000}); err == nil {
+		t.Fatal("million-node point accepted without the parallel kernel")
+	}
+	big, err := e15Sweep(&Config{Scale: 1, MaxNodes: 1_000_000, Domains: 4})
+	if err != nil || !reflect.DeepEqual(big, []int{10, 16, 25, 40, 47, 100}) {
+		t.Fatalf("million-node sweep = %v, %v", big, err)
+	}
+}
+
+// TestParallelE15MatchesSequential is the sequential-twin property at
+// the experiment level: the same E15 sweep rendered under the
+// sequential kernel (K=1) and the partitioned kernel (K>1) must be
+// byte-identical — the conservative windows, the cross-slab phase
+// barriers and the shard-local fast paths may not move a single
+// virtual timestamp.
+func TestParallelE15MatchesSequential(t *testing.T) {
+	e, ok := Get("E15")
+	if !ok {
+		t.Fatal("E15 not registered")
+	}
+	limit := 5000
+	if !testing.Short() {
+		limit = 20000 // adds the 25^3 point
+	}
+	cfg := func(k int, fid fabric.Fidelity) *Config {
+		return &Config{Scale: 1, MaxNodes: limit, Domains: k, Fidelity: fid}
+	}
+	for _, fid := range []fabric.Fidelity{fabric.FidelityFlow, fabric.FidelityPacket} {
+		seq := renderWith(t, e, cfg(1, fid))
+		for _, k := range []int{2, 4} {
+			par := renderWith(t, e, cfg(k, fid))
+			if !bytes.Equal(par, seq) {
+				t.Fatalf("fidelity %v: K=%d table diverges from sequential:\n--- K=1 ---\n%s\n--- K=%d ---\n%s",
+					fid, k, seq, k, par)
+			}
+		}
+	}
+}
+
+// TestEveryExperimentDomainsStable runs every registered experiment
+// twice at a fixed K>1 and requires byte-identical tables: the
+// determinism contract of the parallel kernel is per fixed K.
+// Experiments without a spatial partition ignore Domains and must
+// still render exactly their sequential table.
+func TestEveryExperimentDomainsStable(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			cfg := func(k int) *Config {
+				return &Config{Scale: 1, Domains: k, MaxNodes: 5000}
+			}
+			a := renderWith(t, e, cfg(3))
+			b := renderWith(t, e, cfg(3))
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s not deterministic at fixed K=3", e.ID)
+			}
+			seq := renderWith(t, e, cfg(1))
+			if !bytes.Equal(a, seq) {
+				t.Fatalf("%s diverges from its sequential table at K=3:\n--- K=1 ---\n%s\n--- K=3 ---\n%s",
+					e.ID, seq, a)
+			}
+		})
+	}
+}
+
+// TestE15ParallelKernelCounters checks the partitioned run exposes
+// coherent machine-readable kernel totals in the table summary.
+func TestE15ParallelKernelCounters(t *testing.T) {
+	e, _ := Get("E15")
+	tab, err := e.Run(context.Background(), &Config{Scale: 1, Domains: 2, MaxNodes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Summary["domains"] != 2 {
+		t.Fatalf("summary domains = %v, want 2", tab.Summary["domains"])
+	}
+	if tab.Summary["kernel_windows"] <= 0 || tab.Summary["kernel_executed"] <= 0 {
+		t.Fatalf("kernel counters missing from summary: %v", tab.Summary)
+	}
+}
+
+// TestE15ParallelEnergyClose: energy totals are summed shard by shard
+// under the partitioned kernel, so they are only guaranteed
+// byte-stable per fixed K — but they must agree with the sequential
+// recorder to floating-point noise.
+func TestE15ParallelEnergyClose(t *testing.T) {
+	e, _ := Get("E15")
+	run := func(k int) *stats.Table {
+		tab, err := e.Run(context.Background(), &Config{Scale: 1, Domains: k, MaxNodes: 5000, Energy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	seqTab, parTab := run(1), run(2)
+	if len(seqTab.Rows) != len(parTab.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seqTab.Rows), len(parTab.Rows))
+	}
+	for i := range seqTab.Rows {
+		if !reflect.DeepEqual(seqTab.Rows[i][:7], parTab.Rows[i][:7]) {
+			t.Fatalf("row %d timing cells diverge with energy on:\nseq %v\npar %v",
+				i, seqTab.Rows[i], parTab.Rows[i])
+		}
+		sj, err1 := strconv.ParseFloat(seqTab.Rows[i][7], 64)
+		pj, err2 := strconv.ParseFloat(parTab.Rows[i][7], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d joules cells unparsable: %q %q", i, seqTab.Rows[i][7], parTab.Rows[i][7])
+		}
+		if diff := math.Abs(sj - pj); diff > 1e-6*math.Max(sj, 1) {
+			t.Fatalf("row %d joules diverge beyond float noise: seq %v par %v", i, sj, pj)
+		}
+	}
+}

@@ -24,6 +24,13 @@ type Spec struct {
 	Fidelity string `json:"fidelity,omitempty"`
 	// Energy appends joules / GFlop/W columns to every experiment.
 	Energy bool `json:"energy,omitempty"`
+	// Domains is the parallel-kernel domain count: 0 or 1 sequential
+	// (the default), K > 1 partitioned, negative GOMAXPROCS (resolved
+	// at canonicalisation time, so the cache key pins the actual K).
+	Domains int `json:"domains,omitempty"`
+	// MaxNodes bounds sweep machine sizes; 0 keeps each experiment's
+	// default ceiling.
+	MaxNodes int `json:"max_nodes,omitempty"`
 }
 
 // Config converts the spec into a runnable Config, validating the
@@ -37,7 +44,11 @@ func (s Spec) Config() (*Config, error) {
 	if s.Scale < 0 {
 		return nil, fmt.Errorf("expt: spec: negative scale %v", s.Scale)
 	}
-	cfg := &Config{Seed: s.Seed, Scale: s.Scale, Fidelity: fid, Energy: s.Energy}
+	if s.MaxNodes < 0 {
+		return nil, fmt.Errorf("expt: spec: negative max_nodes %d", s.MaxNodes)
+	}
+	cfg := &Config{Seed: s.Seed, Scale: s.Scale, Fidelity: fid, Energy: s.Energy,
+		Domains: s.Domains, MaxNodes: s.MaxNodes}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
@@ -57,6 +68,15 @@ func (c *Config) Spec() Spec {
 	}
 	if c.Fidelity != fabric.FidelityDefault {
 		s.Fidelity = c.Fidelity.String()
+	}
+	// Canonical domain count: 1 means sequential and encodes as 0;
+	// negative resolves to the machine's GOMAXPROCS so the wire form —
+	// and any content hash over it — names the actual K it ran with.
+	if d := c.domains(); d > 1 {
+		s.Domains = d
+	}
+	if c.MaxNodes > 0 {
+		s.MaxNodes = c.MaxNodes
 	}
 	return s
 }

@@ -2,10 +2,12 @@ package expt
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/energy"
 	"repro/internal/fabric"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -29,8 +31,32 @@ import (
 // relies on exactly that.
 
 // e15Edges are the torus edge lengths swept: k^3 nodes each, 1000 to
-// 103823 ("100k boosters").
-var e15Edges = []int{10, 16, 25, 40, 47}
+// 103823 ("100k boosters"). Edge 100 — a million-node booster — lies
+// beyond the sequential kernel's practical ceiling; it joins the sweep
+// only when Config.MaxNodes admits it and requires Domains > 1.
+var e15Edges = []int{10, 16, 25, 40, 47, 100}
+
+// e15SeqMaxNodes is the largest machine the default sweep visits:
+// 47^3, the paper's "100k boosters" point.
+const e15SeqMaxNodes = 103823
+
+// e15Sweep resolves the edge list for cfg: bounded by MaxNodes
+// (default the sequential ceiling), rejecting points only the
+// partitioned kernel can reach when Domains == 1.
+func e15Sweep(cfg *Config) ([]int, error) {
+	limit := cfg.maxNodes(e15SeqMaxNodes)
+	var edges []int
+	for _, k := range e15Edges {
+		if n := k * k * k; n <= limit {
+			if n > e15SeqMaxNodes && cfg.domains() == 1 {
+				return nil, fmt.Errorf(
+					"expt: E15 at %d^3 = %d nodes exceeds the sequential kernel's ceiling; set Domains >= 2 to use the partitioned kernel", k, n)
+			}
+			edges = append(edges, k)
+		}
+	}
+	return edges, nil
+}
 
 const (
 	e15HaloBytes   = 2048 // one MTU per neighbour exchange
@@ -52,8 +78,15 @@ var e15Kernel = machine.Kernel{
 func e15Halo(net *fabric.Network, tor *topology.Torus3D, done func()) {
 	n := tor.Nodes()
 	latch := sim.NewLatch(6*n, done)
-	cb := func(sim.Time, error) { latch.Done() }
-	for id := 0; id < n; id++ {
+	e15HaloSlab(net, tor, 0, n, func(sim.Time, error) { latch.Done() })
+}
+
+// e15HaloSlab injects the halo exchange of the nodes in [lo, hi). On a
+// partitioned fabric the slab range must match the shard: a halo is a
+// single hop over the source's own link, so every send stays
+// shard-local even when the neighbour lives in the next slab.
+func e15HaloSlab(net *fabric.Network, tor *topology.Torus3D, lo, hi int, cb func(sim.Time, error)) {
+	for id := lo; id < hi; id++ {
 		src := topology.NodeID(id)
 		x, y, z := tor.Coord(src)
 		for _, nb := range [...]topology.NodeID{
@@ -69,11 +102,20 @@ func e15Halo(net *fabric.Network, tor *topology.Torus3D, done func()) {
 // e15Chain passes a partial sum down ring[i] -> ring[i-1] -> ... ->
 // ring[0], one message at a time, then releases the latch.
 func e15Chain(net *fabric.Network, ring []topology.NodeID, latch *sim.Latch) {
+	e15ChainSeg(net, ring, latch.Done)
+}
+
+// e15ChainSeg is the latch-free chain primitive shared by the
+// sequential and partitioned sweeps: on a shard, every sender ring[1:]
+// must be owned by net; ring[0] may live on the slab below (a send's
+// link belongs to its source, so the boundary hop is still
+// shard-local).
+func e15ChainSeg(net *fabric.Network, ring []topology.NodeID, done func()) {
 	i := len(ring) - 1
 	var step func()
 	step = func() {
 		if i == 0 {
-			latch.Done()
+			done()
 			return
 		}
 		from, to := ring[i], ring[i-1]
@@ -118,6 +160,13 @@ func e15Reduce(net *fabric.Network, tor *topology.Torus3D, done func()) {
 }
 
 func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
+	edges, err := e15Sweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.domains() > 1 {
+		return runE15Par(ctx, cfg, edges)
+	}
 	fid := cfg.fidelity(fabric.FidelityFlow)
 	rounds := cfg.scale(1)
 	compute := machine.KNC.Time(e15Kernel, machine.KNC.Cores)
@@ -129,7 +178,7 @@ func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
 		"E15 Weak scaling on the booster torus, 1k -> 100k nodes",
 		cfg.energyHeaders("torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")...)
 	var base sim.Time
-	for _, k := range e15Edges {
+	for _, k := range edges {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -186,12 +235,193 @@ func runE15(ctx context.Context, cfg *Config) (*stats.Table, error) {
 				float64(base) / float64(perRound)},
 			rec.Joules(), rec.GFlopsPerWatt())...)
 	}
+	e15Notes(tab, cfg)
+	return tab, nil
+}
+
+// e15Notes appends the interpretation notes shared by the sequential
+// and partitioned sweeps — the two paths must render byte-identical
+// tables for any edge both can reach.
+func e15Notes(tab *stats.Table, cfg *Config) {
 	tab.AddNote("halo exchange is one message per link and stays flat at any scale (the booster's design point)")
 	tab.AddNote("the global reduction's 3(k-1)-hop critical path grows as n^(1/3): global sync, not halos, erodes weak scaling")
 	tab.AddNote("expected shape: weak_eff decays gently to ~100k nodes; round time stays in the same millisecond decade")
 	if cfg.energyOn() {
 		tab.AddNote("energy: nodes idle during exchanges and busy during the kernel; GFlop/W erodes with weak efficiency as the reduction tail grows")
 	}
+}
+
+// runE15Par is the partitioned-kernel twin of runE15: the same sweep,
+// phases and table, executed over K domain engines under conservative
+// window synchronization. The coordinator replaces runE15's latches
+// with run-to-quiescence phase barriers: every E15 phase ends at the
+// virtual time of its last delivery, which is exactly when the
+// sequential latch would have fired, so for edges both kernels can
+// reach the tables agree row for row. (Fabric energy totals are summed
+// shard by shard, so with Energy on the floating-point tail of the
+// joules column is byte-stable per fixed K, not across K.)
+//
+// Phase decomposition: halos and the X/Y reduction chains are
+// slab-local under dimension-ordered routing (a send's link belongs to
+// its source node), so each domain advances them independently within
+// the conservative windows. Only the final Z line walks across slabs;
+// the coordinator runs its per-slab segments top-down, each starting
+// at the quiescence time of the previous — the same critical path the
+// sequential kernel serializes through its latch chain.
+func runE15Par(ctx context.Context, cfg *Config, edges []int) (*stats.Table, error) {
+	fid := cfg.fidelity(fabric.FidelityFlow)
+	rounds := cfg.scale(1)
+	compute := machine.KNC.Time(e15Kernel, machine.KNC.Cores)
+	tab := stats.NewTable(
+		"E15 Weak scaling on the booster torus, 1k -> 100k nodes",
+		cfg.energyHeaders("torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")...)
+	var base sim.Time
+	var kexec, kwin, kblocked, kcross uint64
+	for _, k := range edges {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		doms, tor := machine.BoosterFabricPar(k, k, k, cfg.domains(), fid, 2013)
+		cl := doms.Cluster()
+		K := doms.Domains()
+		bounds := doms.Bounds()
+		n := tor.Nodes()
+		sys := machine.BoosterSystem(n)
+		// The coordinator's clock engine carries the energy recorder; it
+		// advances to each phase boundary so power-state transitions
+		// integrate at the same virtual times as runE15's.
+		clock := sim.New()
+		var rec *energy.Recorder
+		var grp *energy.NodeGroup
+		if cfg.energyOn() {
+			rec = energy.NewRecorder(clock)
+			grp = rec.MustAddGroup("booster", machine.KNC, n)
+			doms.SetEnergyModel(fabric.ExtollEnergy)
+		}
+		run := cfg.observe(fmt.Sprintf("E15-%s-K%d", tor.Name(), K), clock)
+		if scope := run.Scope(); scope.Enabled() {
+			for d := 0; d < K; d++ {
+				scope.Thread(obs.LaneDomains+d, fmt.Sprintf("domain %d", d))
+			}
+			cl.OnWindow = func(_ uint64, start, deadline sim.Time, ran []bool) {
+				for d, r := range ran {
+					if !r {
+						scope.Span(obs.LaneDomains+d, "domains", "blocked", start, deadline)
+					}
+				}
+			}
+		}
+
+		// The reduction rings, grouped by owning domain. Z-line
+		// segments run top slab first, each chaining down to the top
+		// node of the slab below.
+		ring := func(m int, coord func(i int) topology.NodeID) []topology.NodeID {
+			r := make([]topology.NodeID, m)
+			for i := range r {
+				r[i] = coord(i)
+			}
+			return r
+		}
+		ringsX := make([][][]topology.NodeID, K)
+		ringsY := make([][][]topology.NodeID, K)
+		for z := 0; z < k; z++ {
+			z := z
+			d := doms.Owner(tor.ID(0, 0, z))
+			for y := 0; y < k; y++ {
+				y := y
+				ringsX[d] = append(ringsX[d], ring(k, func(i int) topology.NodeID { return tor.ID(i, y, z) }))
+			}
+			ringsY[d] = append(ringsY[d], ring(k, func(i int) topology.NodeID { return tor.ID(0, i, z) }))
+		}
+		xy := k * k
+		segZ := make([][]topology.NodeID, K)
+		for d := 0; d < K; d++ {
+			zlo, zhi := bounds[d]/xy, bounds[d+1]/xy
+			lo := max(zlo-1, 0)
+			segZ[d] = ring(zhi-lo, func(i int) topology.NodeID { return tor.ID(0, 0, lo+i) })
+		}
+
+		noop := func() {}
+		// halo injects every slab's six-neighbour exchange at time t
+		// and runs the cluster to quiescence.
+		halo := func(t sim.Time) sim.Time {
+			for d := 0; d < K; d++ {
+				sh := doms.Shard(d)
+				lo, hi := bounds[d], bounds[d+1]
+				cl.Engine(d).At(t, func() { e15HaloSlab(sh, tor, lo, hi, func(sim.Time, error) {}) })
+			}
+			return cl.Run()
+		}
+		// chains starts each domain's slab-local chain set at time t.
+		chains := func(t sim.Time, byDomain [][][]topology.NodeID) sim.Time {
+			for d := 0; d < K; d++ {
+				if len(byDomain[d]) == 0 {
+					continue
+				}
+				sh, rings := doms.Shard(d), byDomain[d]
+				cl.Engine(d).At(t, func() {
+					for _, r := range rings {
+						e15ChainSeg(sh, r, noop)
+					}
+				})
+			}
+			return cl.Run()
+		}
+		reduceZ := func(t sim.Time) sim.Time {
+			for d := K - 1; d >= 0; d-- {
+				sh, seg := doms.Shard(d), segZ[d]
+				cl.Engine(d).At(t, func() { e15ChainSeg(sh, seg, noop) })
+				t = cl.Run()
+			}
+			return t
+		}
+
+		var haloT, reduceT, now sim.Time
+		for r := 0; r < rounds; r++ {
+			h := halo(now)
+			haloT += h - now
+			rdone := reduceZ(chains(chains(h, ringsX), ringsY))
+			reduceT += rdone - h
+			clock.RunUntil(rdone)
+			grp.Transition(n, machine.PowerIdle, machine.PowerBusy)
+			grp.AddFlops(float64(n) * e15Kernel.Flops)
+			now = rdone + compute
+			clock.RunUntil(now)
+			grp.Transition(n, machine.PowerBusy, machine.PowerIdle)
+		}
+		finish := now
+		rec.Charge("fabric", doms.EnergyJoules(finish))
+		run.Close()
+
+		ks := doms.KernelStats()
+		kexec += ks.Agg.Executed
+		kwin += ks.Windows
+		kcross += ks.CrossEvents
+		for _, ds := range ks.PerDomain {
+			kblocked += ds.BlockedWindows
+		}
+
+		perRound := finish / sim.Time(rounds)
+		if base == 0 {
+			base = perRound
+		}
+		tab.AddRow(cfg.energyRow(
+			[]any{tor.Name(), n, sys.PeakGFlops() / 1000,
+				float64(perRound) / float64(sim.Millisecond),
+				(haloT / sim.Time(rounds)).Micros(),
+				(reduceT / sim.Time(rounds)).Micros(),
+				float64(base) / float64(perRound)},
+			rec.Joules(), rec.GFlopsPerWatt())...)
+	}
+	e15Notes(tab, cfg)
+	// Machine-readable kernel counters for the bench harness; absent
+	// from the rendered table so the text output stays comparable to
+	// the sequential kernel's.
+	tab.SetSummary("domains", float64(cfg.domains()))
+	tab.SetSummary("kernel_windows", float64(kwin))
+	tab.SetSummary("kernel_executed", float64(kexec))
+	tab.SetSummary("kernel_blocked_windows", float64(kblocked))
+	tab.SetSummary("kernel_cross_events", float64(kcross))
 	return tab, nil
 }
 

@@ -22,6 +22,10 @@ type Stats struct {
 	// FlowMessages counts messages that took the flow-level fast path
 	// instead of the per-packet event chain (see Fidelity).
 	FlowMessages uint64
+	// CrossMessages counts messages whose route crossed a spatial
+	// partition boundary and were handed to another domain's engine
+	// (always zero on an unpartitioned network).
+	CrossMessages uint64
 }
 
 // Network simulates one fabric: a topology whose links are serializing
@@ -36,6 +40,16 @@ type Network struct {
 	down  []bool // per-link outage flag, driven by resil.Injector
 	src   *rng.Source
 	Stats Stats
+
+	// Partitioned mode (see parallel.go): when part is non-nil this
+	// Network is one spatial shard of a Domains fabric — it owns the
+	// contiguous link range [linkBase, linkBase+len(links)) and runs on
+	// domain's engine. The per-link slices are indexed by li(l), which
+	// is the identity on an unpartitioned network (linkBase == 0), so
+	// the sequential path is byte-for-byte unchanged.
+	part     *Domains
+	domain   int
+	linkBase int
 
 	// Flow fast-path state (see flow.go): the configured fidelity,
 	// the per-link reservation ledger, a scratch buffer for planned
@@ -72,9 +86,13 @@ func (n *Network) EnergyModelOf() EnergyModel { return n.energy }
 
 // EnergyJoules returns the fabric's accumulated energy: transfer
 // energy charged as deliveries fired plus the static draw of every
-// link up to the current virtual time. Zero when no model is set.
+// owned link up to the current virtual time. Zero when no model is
+// set. On an unpartitioned network the owned links are all of them;
+// a partitioned fabric's total comes from Domains.EnergyJoules, which
+// charges the idle term over the machine-wide clock instead of the
+// shard clocks.
 func (n *Network) EnergyJoules() float64 {
-	return n.transferJ + n.energy.IdleJ(n.Topo.Links(), n.Eng.Now())
+	return n.transferJ + n.energy.IdleJ(len(n.down), n.Eng.Now())
 }
 
 // NewNetwork builds a network over topo with parameters p. The seed
@@ -90,15 +108,19 @@ func NewNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) 
 	return n, nil
 }
 
+// li maps a global link ID into this network's per-link slices: the
+// identity normally, the owned-range offset on a partitioned shard.
+func (n *Network) li(l topology.LinkID) int { return int(l) - n.linkBase }
+
 // link returns the serialization resource of link l, created on first
 // use: a 100k-node torus has 600k links, and eagerly materialising a
 // named resource per link dominated network construction. Flow-path
 // traffic never touches them at all.
 func (n *Network) link(l topology.LinkID) *sim.Resource {
-	r := n.links[l]
+	r := n.links[n.li(l)]
 	if r == nil {
 		r = sim.NewResource(n.Eng, "")
-		n.links[l] = r
+		n.links[n.li(l)] = r
 	}
 	return r
 }
@@ -122,11 +144,11 @@ func MustNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64)
 // both occupancy ledgers: packet-model grants and flow reservations.
 func (n *Network) linkBusyTime(l topology.LinkID) sim.Time {
 	var t sim.Time
-	if r := n.links[l]; r != nil {
+	if r := n.links[n.li(l)]; r != nil {
 		t += r.BusyTime
 	}
 	if n.flowBusy != nil {
-		t += n.flowBusy[l]
+		t += n.flowBusy[n.li(l)]
 	}
 	return t
 }
@@ -144,7 +166,7 @@ func (n *Network) LinkUtilisation(l topology.LinkID) float64 {
 func (n *Network) MaxLinkUtilisation() float64 {
 	max := 0.0
 	for l := range n.links {
-		if u := n.LinkUtilisation(topology.LinkID(l)); u > max {
+		if u := n.LinkUtilisation(topology.LinkID(l + n.linkBase)); u > max {
 			max = u
 		}
 	}
@@ -180,6 +202,10 @@ func (n *Network) Send(src, dst topology.NodeID, size int, done func(at sim.Time
 	}
 	segs := n.segment(size)
 	n.Stats.Packets += uint64(len(segs))
+	if n.part != nil && !n.routeLocal(route) {
+		n.crossSend(dst, route, segs, size, done)
+		return
+	}
 	n.Eng.After(n.P.SendOverhead, func() {
 		// The fidelity decision happens at injection time (after the
 		// send overhead), when the route and event-queue state that
@@ -293,7 +319,7 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 				n.transferJ += n.energy.PerByteJ * float64(bytes)
 			}
 			corrupted := n.P.PacketErrorRate > 0 && n.src.Bool(n.P.PacketErrorRate)
-			if n.down[l] {
+			if n.down[n.li(l)] {
 				// A failed link delivers nothing: the CRC handshake
 				// times out and the link layer retries, exactly like a
 				// corrupted traversal, until the outage ends or the
@@ -309,7 +335,7 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 					return
 				}
 				delay := n.P.RetransmitDelay
-				if n.down[l] {
+				if n.down[n.li(l)] {
 					// Outages last far longer than a CRC turnaround:
 					// back off exponentially so a packet parked on a
 					// failed link costs O(log outage) events instead
@@ -335,6 +361,9 @@ func (n *Network) traverse(l topology.LinkID, bytes, attempt int, done func(erro
 // attempts and is eventually dropped if the outage outlasts the retry
 // budget.
 func (n *Network) LinkFailed(l int) {
+	if n.part != nil {
+		panic("fabric: link outages are not supported under the partitioned kernel")
+	}
 	n.down[l] = true
 	if n.Obs.Enabled() {
 		n.Obs.Instant(obs.LaneLinks+l, "fault", "link-down", n.Eng.Now(), obs.KV{K: "link", V: l})
@@ -343,6 +372,9 @@ func (n *Network) LinkFailed(l int) {
 
 // LinkRepaired implements resil.LinkTarget.
 func (n *Network) LinkRepaired(l int) {
+	if n.part != nil {
+		panic("fabric: link outages are not supported under the partitioned kernel")
+	}
 	n.down[l] = false
 	if n.Obs.Enabled() {
 		n.Obs.Instant(obs.LaneLinks+l, "fault", "link-up", n.Eng.Now(), obs.KV{K: "link", V: l})
@@ -350,7 +382,7 @@ func (n *Network) LinkRepaired(l int) {
 }
 
 // LinkDown reports whether link l is currently failed.
-func (n *Network) LinkDown(l topology.LinkID) bool { return n.down[l] }
+func (n *Network) LinkDown(l topology.LinkID) bool { return n.down[n.li(l)] }
 
 // ObsLinkUtil emits one link-util instant per link with non-zero
 // occupancy at the current time — the per-link hotspot markers
@@ -361,7 +393,8 @@ func (n *Network) ObsLinkUtil() {
 		return
 	}
 	now := n.Eng.Now()
-	for l := range n.links {
+	for i := range n.links {
+		l := i + n.linkBase
 		if u := n.LinkUtilisation(topology.LinkID(l)); u > 0 {
 			n.Obs.Instant(obs.LaneLinks+l, "fabric", "link-util", now,
 				obs.KV{K: "link", V: l}, obs.KV{K: "utilisation", V: u})

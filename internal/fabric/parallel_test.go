@@ -1,0 +1,198 @@
+package fabric
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// evenBounds splits n nodes into k near-equal contiguous ranges.
+func evenBounds(n, k int) []int {
+	b := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		b[i] = i * n / k
+	}
+	return b
+}
+
+// trafficItem is one randomized send.
+type trafficItem struct {
+	start    sim.Time
+	src, dst topology.NodeID
+	size     int
+}
+
+// randomTraffic draws count sends between random node pairs. With
+// stagger > 0 the injections are spaced so each message completes on
+// an idle network before the next starts (the uncontended regime where
+// the cross-domain shortcut is provably exact); with stagger == 0 the
+// sends all collide at a handful of times.
+func randomTraffic(topo topology.Topology, count int, seed uint64, stagger sim.Time) []trafficItem {
+	src := rng.New(seed)
+	items := make([]trafficItem, count)
+	for i := range items {
+		items[i] = trafficItem{
+			start: sim.Time(i+1) * stagger,
+			src:   topology.NodeID(src.Intn(topo.Nodes())),
+			dst:   topology.NodeID(src.Intn(topo.Nodes())),
+			size:  64 + src.Intn(4096),
+		}
+		if stagger == 0 {
+			items[i].start = sim.Time(1+src.Intn(4)) * sim.Microsecond
+		}
+	}
+	return items
+}
+
+// runSequentialTraffic plays items through an unpartitioned network
+// and returns per-item delivery times.
+func runSequentialTraffic(topo topology.Topology, fid Fidelity, items []trafficItem) []sim.Time {
+	eng := sim.New()
+	net := MustNetwork(eng, topo, Extoll, 1)
+	net.SetFidelity(fid)
+	out := make([]sim.Time, len(items))
+	for i, it := range items {
+		i, it := i, it
+		eng.At(it.start, func() {
+			net.Send(it.src, it.dst, it.size, func(at sim.Time, err error) {
+				if err != nil {
+					panic(err)
+				}
+				out[i] = at
+			})
+		})
+	}
+	eng.Run()
+	return out
+}
+
+// runParallelTraffic plays items through a K-domain partitioned fabric
+// and returns per-item delivery times. Each completion writes its own
+// slice index, so concurrent windows never touch the same memory.
+func runParallelTraffic(topo topology.Topology, fid Fidelity, k int, items []trafficItem) []sim.Time {
+	doms := MustDomains(topo, Extoll, 1, evenBounds(topo.Nodes(), k))
+	doms.SetFidelity(fid)
+	out := make([]sim.Time, len(items))
+	for i, it := range items {
+		i, it := i, it
+		sh := doms.ShardOf(it.src)
+		sh.Eng.At(it.start, func() {
+			sh.Send(it.src, it.dst, it.size, func(at sim.Time, err error) {
+				if err != nil {
+					panic(err)
+				}
+				out[i] = at
+			})
+		})
+	}
+	doms.Run()
+	return out
+}
+
+func TestDomainsUncontendedMatchesSequential(t *testing.T) {
+	topo := topology.NewTorus3D(6, 6, 6)
+	items := randomTraffic(topo, 120, 7, 50*sim.Microsecond)
+	for _, fid := range []Fidelity{FidelityPacket, FidelityAuto, FidelityFlow} {
+		want := runSequentialTraffic(topo, fid, items)
+		for _, k := range []int{2, 3, 4} {
+			got := runParallelTraffic(topo, fid, k, items)
+			if !reflect.DeepEqual(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("fidelity %v K=%d: item %d (%d->%d, %dB) delivered at %v, sequential %v",
+							fid, k, i, items[i].src, items[i].dst, items[i].size, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDomainsContendedRepeatablePerK(t *testing.T) {
+	topo := topology.NewTorus3D(5, 5, 5)
+	items := randomTraffic(topo, 200, 11, 0) // heavy collisions
+	for _, k := range []int{2, 4} {
+		a := runParallelTraffic(topo, FidelityAuto, k, items)
+		b := runParallelTraffic(topo, FidelityAuto, k, items)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("K=%d: identical contended runs diverged", k)
+		}
+	}
+}
+
+func TestDomainsContendedConservesTraffic(t *testing.T) {
+	topo := topology.NewTorus3D(5, 5, 5)
+	items := randomTraffic(topo, 200, 13, 0)
+	var wantBytes uint64
+	for _, it := range items {
+		wantBytes += uint64(it.size)
+	}
+	doms := MustDomains(topo, Extoll, 1, evenBounds(topo.Nodes(), 3))
+	for _, it := range items {
+		it := it
+		sh := doms.ShardOf(it.src)
+		sh.Eng.At(it.start, func() {
+			sh.Send(it.src, it.dst, it.size, func(sim.Time, error) {})
+		})
+	}
+	doms.Run()
+	st := doms.Stats()
+	if st.Messages != uint64(len(items)) {
+		t.Fatalf("messages %d, want %d", st.Messages, len(items))
+	}
+	if st.BytesDelivered != wantBytes {
+		t.Fatalf("bytes delivered %d, want %d (no message may be lost across boundaries)",
+			st.BytesDelivered, wantBytes)
+	}
+	if st.CrossMessages == 0 {
+		t.Fatal("expected some cross-domain messages on a 3-way split")
+	}
+	ks := doms.KernelStats()
+	if ks.Domains != 3 || ks.CrossEvents == 0 {
+		t.Fatalf("kernel stats %+v lack cross-domain evidence", ks)
+	}
+}
+
+func TestNewDomainsValidation(t *testing.T) {
+	topo := topology.NewTorus3D(4, 4, 4)
+	if _, err := NewDomains(topo, Extoll, 1, []int{0, 64}); err != nil {
+		t.Fatalf("valid single-domain partition rejected: %v", err)
+	}
+	bad := Extoll
+	bad.PacketErrorRate = 0.01
+	if _, err := NewDomains(topo, bad, 1, []int{0, 32, 64}); err == nil {
+		t.Fatal("error injection accepted under partitioned kernel")
+	}
+	if _, err := NewDomains(topo, Extoll, 1, []int{0, 32, 48}); err == nil {
+		t.Fatal("non-covering bounds accepted")
+	}
+	if _, err := NewDomains(topo, Extoll, 1, []int{0, 40, 32, 64}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	ft := topology.NewFatTree(4, 4, 2)
+	if _, err := NewDomains(ft, InfiniBandFDR, 1, []int{0, 8, 16}); err == nil {
+		t.Fatal("fat tree (no node-major links) accepted")
+	}
+}
+
+func TestDomainsOwnerAndShardOf(t *testing.T) {
+	topo := topology.NewTorus3D(4, 4, 4)
+	doms := MustDomains(topo, Extoll, 1, []int{0, 16, 32, 64})
+	cases := map[topology.NodeID]int{0: 0, 15: 0, 16: 1, 31: 1, 32: 2, 63: 2}
+	for node, want := range cases {
+		if got := doms.Owner(node); got != want {
+			t.Fatalf("Owner(%d) = %d, want %d", node, got, want)
+		}
+		if doms.ShardOf(node) != doms.Shard(want) {
+			t.Fatalf("ShardOf(%d) is not shard %d", node, want)
+		}
+	}
+	sorted := sort.IntsAreSorted(doms.Bounds())
+	if !sorted {
+		t.Fatal("bounds not sorted")
+	}
+}

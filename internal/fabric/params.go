@@ -78,6 +78,23 @@ func (p *Params) maxRetries() int {
 	return p.MaxRetries
 }
 
+// Lookahead returns the conservative parallel-simulation lookahead
+// this fabric guarantees: the minimum virtual delay between a domain
+// deciding to send across a partition boundary and the earliest effect
+// on the far side. Every cross-domain interaction is a full message,
+// so it pays at least the software overheads plus one router and wire
+// traversal — strictly more than the LinkLatency+RouterDelay floor the
+// link alone would give, which means wider windows and fewer barriers.
+// Clamped to one picosecond so a degenerate parameter set still yields
+// a valid (if tiny) window.
+func (p *Params) Lookahead() sim.Time {
+	la := p.SendOverhead + p.RouterDelay + p.LinkLatency + p.RecvOverhead
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
 // serTime returns the serialization time of n bytes on one link.
 func (p *Params) serTime(n int) sim.Time {
 	if n <= 0 {

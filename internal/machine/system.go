@@ -201,6 +201,30 @@ func BoosterFabric(eng *sim.Engine, x, y, z int, fid fabric.Fidelity, seed uint6
 	return net, tor
 }
 
+// BoosterFabricPar builds the EXTOLL torus of a booster machine as a
+// spatially partitioned fabric for the parallel kernel: the node space
+// splits into at most k z-plane-aligned slabs (dimension-ordered
+// routing resolves X and Y inside a slab, so intra-slab traffic stays
+// domain-local), each simulated by its own engine under conservative
+// window synchronization. k is clamped to the number of z planes; the
+// effective domain count is Domains() on the result.
+func BoosterFabricPar(x, y, z, k int, fid fabric.Fidelity, seed uint64) (*fabric.Domains, *topology.Torus3D) {
+	tor := topology.NewTorus3D(x, y, z)
+	if k > z {
+		k = z
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	for d := 0; d <= k; d++ {
+		bounds[d] = (d * z / k) * x * y
+	}
+	doms := fabric.MustDomains(tor, fabric.Extoll, seed, bounds)
+	doms.SetFidelity(fid)
+	return doms, tor
+}
+
 // KernelTime is a convenience that evaluates k on the system's booster
 // or cluster node model.
 func (s *System) KernelTime(k Kernel, onBooster bool, procs int) sim.Time {

@@ -28,6 +28,9 @@ const (
 	LaneNodes  = 2 << 20
 	LaneLinks  = 3 << 20
 	LanePower  = 4 << 20
+	// LaneDomains holds one row per parallel-kernel domain: spans named
+	// "blocked" cover the synchronization windows a domain sat out.
+	LaneDomains = 5 << 20
 )
 
 // KV is one key/value argument attached to a trace event.

@@ -48,6 +48,8 @@ func executeExperiment(ctx context.Context, key string, spec *JobSpec, progress 
 		Seed:         spec.Seed,
 		Scale:        spec.Scale,
 		Energy:       spec.Energy,
+		Domains:      spec.Domains,
+		MaxNodes:     spec.MaxNodes,
 		Tracing:      spec.Trace,
 		MetricsEvery: spec.MetricsEveryS,
 		Progress:     progress,

@@ -31,6 +31,12 @@ type Options struct {
 	// RetainJobs bounds how many terminal job records the server keeps
 	// for status queries (default 4096; the cache outlives the record).
 	RetainJobs int
+	// DefaultDomains is the parallel-kernel domain count applied to
+	// specs that set none (0: keep the sequential default). Applied
+	// before normalization, so it is part of each job's content
+	// address — a server-wide simulation default, not a scheduling
+	// hint.
+	DefaultDomains int
 	// Store, when non-nil, persists finished results across restarts:
 	// the cache warm-starts from it on boot, LRU misses fall back to
 	// it, and completions write through. The caller owns the store's
@@ -218,6 +224,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(spec); err != nil {
 		writeError(w, invalidf("decoding spec: %v", err))
 		return
+	}
+	if spec.Domains == 0 {
+		spec.Domains = s.opts.DefaultDomains
 	}
 	if err := spec.normalize(); err != nil {
 		writeError(w, err)

@@ -28,6 +28,13 @@ type JobSpec struct {
 	Scale    float64 `json:"scale,omitempty"`
 	Fidelity string  `json:"fidelity,omitempty"`
 	Energy   bool    `json:"energy,omitempty"`
+	// Domains is the parallel-kernel domain count (0 or 1: the exact
+	// sequential kernel; negative: the worker's GOMAXPROCS). MaxNodes
+	// lifts or lowers experiment sweep ceilings (experiment jobs only).
+	// Both carry omitempty so pre-existing specs keep their content
+	// addresses.
+	Domains  int `json:"domains,omitempty"`
+	MaxNodes int `json:"max_nodes,omitempty"`
 	// Trace records a Chrome trace attachment; MetricsEveryS samples a
 	// metrics-CSV attachment every that many virtual seconds. Both are
 	// part of the content address (they change what the job produces).
@@ -85,7 +92,8 @@ type CkptSpec struct {
 }
 
 // WorkloadSpec names and parameterises one workload, mirroring the
-// deeprun CLI surface: cholesky | spmv | stencil | nbody | jobs.
+// deeprun CLI surface: cholesky | spmv | stencil | nbody | jobs |
+// traffic.
 type WorkloadSpec struct {
 	Kind string `json:"kind"`
 
@@ -110,6 +118,11 @@ type WorkloadSpec struct {
 	Contiguous       bool       `json:"contiguous,omitempty"`
 	BoostersPerOwner int        `json:"boosters_per_owner,omitempty"`
 	Ckpt             *CkptSpec  `json:"ckpt,omitempty"`
+
+	// Torus-traffic parameters (the parallel-kernel exerciser).
+	Messages int     `json:"messages,omitempty"`
+	MsgBytes int     `json:"msg_bytes,omitempty"`
+	WindowMS float64 `json:"window_ms,omitempty"`
 }
 
 // invalidf is shorthand for a 400 validation error.
@@ -120,7 +133,8 @@ func invalidf(format string, args ...any) *Error {
 // exptSpec extracts the expt-layer run knobs — the config → spec
 // round-trip the experiment path is built on.
 func (s *JobSpec) exptSpec() expt.Spec {
-	return expt.Spec{Seed: s.Seed, Scale: s.Scale, Fidelity: s.Fidelity, Energy: s.Energy}
+	return expt.Spec{Seed: s.Seed, Scale: s.Scale, Fidelity: s.Fidelity, Energy: s.Energy,
+		Domains: s.Domains, MaxNodes: s.MaxNodes}
 }
 
 // normalize validates the spec and rewrites it into canonical form:
@@ -144,6 +158,10 @@ func (s *JobSpec) normalize() error {
 	}
 	canon := cfg.Spec()
 	s.Seed, s.Scale, s.Fidelity, s.Energy = canon.Seed, canon.Scale, canon.Fidelity, canon.Energy
+	s.Domains, s.MaxNodes = canon.Domains, canon.MaxNodes
+	if s.Workload != nil && s.MaxNodes != 0 {
+		return invalidf("max_nodes lifts experiment sweep ceilings; workload jobs size their own machines")
+	}
 	if s.MetricsEveryS < 0 {
 		return invalidf("negative metrics sampling interval %v s", s.MetricsEveryS)
 	}
@@ -211,11 +229,20 @@ func (w *WorkloadSpec) normalize() error {
 		if c := w.Ckpt; c != nil && (c.IntervalS < 0 || c.WriteS < 0 || c.RestoreS < 0 || c.IOWatts < 0) {
 			return invalidf("checkpoint spec has negative parameters")
 		}
+	case "traffic":
+		def(&w.Messages, 4096)
+		def(&w.MsgBytes, 2048)
+		if w.WindowMS < 0 {
+			return invalidf("negative traffic window %v ms", w.WindowMS)
+		}
+		if w.WindowMS == 0 {
+			w.WindowMS = 1
+		}
 	case "":
 		return errf(ErrUnknownWorkload, http.StatusBadRequest, "workload spec needs a kind")
 	default:
 		return errf(ErrUnknownWorkload, http.StatusBadRequest,
-			"unknown workload kind %q (want cholesky, spmv, stencil, nbody or jobs)", w.Kind)
+			"unknown workload kind %q (want cholesky, spmv, stencil, nbody, jobs or traffic)", w.Kind)
 	}
 	if w.Ranks < 0 {
 		return invalidf("negative rank count %d", w.Ranks)
@@ -292,6 +319,9 @@ func (s *JobSpec) options() []deep.Option {
 	if s.Energy {
 		opts = append(opts, deep.WithEnergyMetering())
 	}
+	if s.Domains != 0 {
+		opts = append(opts, deep.WithDomains(s.Domains))
+	}
 	if s.Trace {
 		opts = append(opts, deep.WithTracing())
 	}
@@ -345,6 +375,8 @@ func (s *JobSpec) buildEnv() (*deep.Env, deep.Workload, error) {
 			}
 		}
 		wl = sj
+	case "traffic":
+		wl = deep.TorusTraffic{Messages: w.Messages, Bytes: w.MsgBytes, WindowMS: w.WindowMS}
 	default:
 		return nil, nil, errf(ErrUnknownWorkload, http.StatusBadRequest, "unknown workload kind %q", w.Kind)
 	}

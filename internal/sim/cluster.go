@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Cluster runs K engines — one spatial domain each, on its own
+// goroutine — under conservative synchronous-window synchronization.
+// Each round the coordinator computes the global minimum pending event
+// time minNext and opens the window [minNext, minNext+lookahead-1]:
+// every domain whose next event falls inside executes freely up to the
+// deadline, in parallel. Conservativeness: any event a domain posts to
+// another during the window carries a timestamp at least lookahead
+// after the posting domain's clock, hence strictly beyond the
+// deadline, so no domain can receive an event in its own past.
+//
+// Cross-domain events are exchanged through per-pair outboxes
+// (src-private during the window, so posting is lock-free) and merged
+// at the window boundary in (time, source domain, source sequence)
+// order before injection. The merge order fixes the destination
+// engine's tie-breaking sequence numbers, which makes a run byte-stable
+// for a fixed K. Different K interleave ties differently, so output is
+// NOT stable across domain counts — that is the documented contract.
+//
+// A Cluster with K=1 never spawns a goroutine and never windows: Run
+// delegates to the single engine's Run, preserving the sequential
+// kernel's exact behaviour.
+type Cluster struct {
+	engines   []*Engine
+	lookahead Time
+
+	// outbox[src][dst] collects events domain src posts to domain dst
+	// during a window. Only goroutine src appends to outbox[src][*],
+	// and the coordinator drains between windows — no locks needed.
+	outbox [][][]xev
+	xseq   []uint64 // per-source post sequence, for deterministic merge
+	merged []xev    // coordinator scratch for the boundary merge
+
+	// deadline is the current window's inclusive execution bound. The
+	// coordinator writes it between windows; workers read it during
+	// the window (Post's conservativeness check, the fabric's flow
+	// proof) — ordered by the goroutine start / WaitGroup edges.
+	deadline Time
+
+	windows uint64
+	cross   uint64
+	blocked []uint64
+	maxNow  Time
+
+	// OnWindow, when set, observes each completed window: its ordinal,
+	// the [start, deadline] bounds, and which domains executed (ran is
+	// reused across windows — copy it to retain). The observability
+	// layer uses it to draw per-domain blocked lanes.
+	OnWindow func(window uint64, start, deadline Time, ran []bool)
+}
+
+// xev is one cross-domain event in flight between two windows.
+type xev struct {
+	at  Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// NewCluster builds a K-domain cluster whose inter-domain lookahead is
+// the given minimum cross-domain latency (picoseconds, >= 1).
+func NewCluster(k int, lookahead Time) *Cluster {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: cluster needs at least one domain, got %d", k))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: cluster lookahead must be positive, got %v", lookahead))
+	}
+	c := &Cluster{
+		engines:   make([]*Engine, k),
+		lookahead: lookahead,
+		outbox:    make([][][]xev, k),
+		xseq:      make([]uint64, k),
+		blocked:   make([]uint64, k),
+	}
+	for i := range c.engines {
+		c.engines[i] = New()
+		c.outbox[i] = make([][]xev, k)
+	}
+	return c
+}
+
+// Engine returns domain i's engine. Models attached to it must be
+// touched only from its own event callbacks once Run starts.
+func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
+
+// Domains returns the domain count K.
+func (c *Cluster) Domains() int { return len(c.engines) }
+
+// Lookahead returns the inter-domain lookahead bound.
+func (c *Cluster) Lookahead() Time { return c.lookahead }
+
+// WindowDeadline returns the current window's inclusive execution
+// bound. Domain-local proofs (the fabric's flow fast path) may rely on
+// it: no cross-domain event can be delivered at or before it.
+func (c *Cluster) WindowDeadline() Time { return c.deadline }
+
+// Now returns the maximum virtual time any domain has executed to.
+func (c *Cluster) Now() Time { return c.maxNow }
+
+// Post schedules fn at absolute time at on domain dst's engine, called
+// from domain src while it executes a window. The timestamp must lie
+// strictly beyond the current window deadline — the conservativeness
+// invariant; violating it means the caller's lookahead bound is wrong,
+// which would silently corrupt causality, so it panics.
+func (c *Cluster) Post(src, dst int, at Time, fn func()) {
+	if at <= c.deadline {
+		panic(fmt.Sprintf("sim: cross-domain event at %v violates window deadline %v (lookahead %v too large)",
+			at, c.deadline, c.lookahead))
+	}
+	c.xseq[src]++
+	c.outbox[src][dst] = append(c.outbox[src][dst], xev{at: at, src: src, seq: c.xseq[src], dst: dst, fn: fn})
+}
+
+// mergeCross orders cross-domain events deterministically: by
+// timestamp, then source domain, then source sequence. The key is
+// total (seq is unique per source), so the merged order — and with it
+// the destination engines' tie-breaking — is byte-stable for a fixed K
+// regardless of goroutine scheduling.
+func mergeCross(evs []xev) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+}
+
+// deliver drains every outbox into the destination engines in merged
+// deterministic order. Runs on the coordinator between windows.
+func (c *Cluster) deliver() {
+	c.merged = c.merged[:0]
+	for src := range c.outbox {
+		for dst := range c.outbox[src] {
+			c.merged = append(c.merged, c.outbox[src][dst]...)
+			c.outbox[src][dst] = c.outbox[src][dst][:0]
+		}
+	}
+	if len(c.merged) == 0 {
+		return
+	}
+	mergeCross(c.merged)
+	c.cross += uint64(len(c.merged))
+	for _, x := range c.merged {
+		c.engines[x.dst].At(x.at, x.fn)
+	}
+}
+
+// Run executes all domains to global quiescence and returns the
+// maximum executed event time. With K=1 it is exactly the sequential
+// engine's Run.
+func (c *Cluster) Run() Time {
+	if len(c.engines) == 1 {
+		c.maxNow = c.engines[0].Run()
+		return c.maxNow
+	}
+	k := len(c.engines)
+	nexts := make([]Time, k)
+	ran := make([]bool, k)
+	var wg sync.WaitGroup
+	for {
+		c.deliver()
+		minNext, any := Time(math.MaxInt64), false
+		for i, e := range c.engines {
+			t, ok := e.NextEventTime()
+			if !ok {
+				nexts[i] = -1
+				continue
+			}
+			nexts[i] = t
+			if t < minNext {
+				minNext = t
+			}
+			any = true
+		}
+		if !any {
+			break
+		}
+		d := minNext + c.lookahead - 1
+		c.deadline = d
+		c.windows++
+		eligible := 0
+		for i := range ran {
+			ran[i] = nexts[i] >= 0 && nexts[i] <= d
+			if ran[i] {
+				eligible++
+			} else {
+				c.blocked[i]++
+			}
+		}
+		if eligible == 1 {
+			// A lone eligible domain runs inline: no goroutine, no
+			// synchronization cost for serial phases of the workload.
+			for i := range ran {
+				if ran[i] {
+					c.engines[i].RunWindow(d)
+				}
+			}
+		} else {
+			for i := range ran {
+				if !ran[i] {
+					continue
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c.engines[i].RunWindow(d)
+				}(i)
+			}
+			wg.Wait()
+		}
+		for i, e := range c.engines {
+			if ran[i] && e.Now() > c.maxNow {
+				c.maxNow = e.Now()
+			}
+		}
+		if c.OnWindow != nil {
+			c.OnWindow(c.windows, minNext, d, ran)
+		}
+	}
+	return c.maxNow
+}
+
+// DomainStats is one domain's scheduler counters plus how often the
+// window synchronization held it back.
+type DomainStats struct {
+	// Domain is the domain index.
+	Domain int
+	// Stats is the domain engine's scheduler snapshot.
+	Stats
+	// BlockedWindows counts windows in which this domain executed
+	// nothing — its next event lay beyond the conservative deadline.
+	BlockedWindows uint64
+}
+
+// ClusterStats aggregates scheduler counters coherently across
+// domains: additive counters sum, high-water marks take the maximum.
+type ClusterStats struct {
+	// Domains is K; Windows counts synchronization rounds (0 for K=1);
+	// CrossEvents counts events exchanged between domains; Lookahead
+	// is the conservative bound the windows used.
+	Domains     int
+	Windows     uint64
+	CrossEvents uint64
+	Lookahead   Time
+	// Agg sums the additive per-domain counters; MaxQueueDepth is the
+	// maximum across domains and BucketWidth is left zero (calendar
+	// geometry is per-engine and does not aggregate).
+	Agg Stats
+	// PerDomain holds each domain's own counters.
+	PerDomain []DomainStats
+}
+
+// Stats returns the coherent cross-domain counter snapshot.
+func (c *Cluster) Stats() ClusterStats {
+	cs := ClusterStats{
+		Domains:     len(c.engines),
+		Windows:     c.windows,
+		CrossEvents: c.cross,
+		Lookahead:   c.lookahead,
+		PerDomain:   make([]DomainStats, len(c.engines)),
+	}
+	for i, e := range c.engines {
+		st := e.Stats()
+		cs.PerDomain[i] = DomainStats{Domain: i, Stats: st, BlockedWindows: c.blocked[i]}
+		cs.Agg.Executed += st.Executed
+		cs.Agg.Scheduled += st.Scheduled
+		cs.Agg.Cancelled += st.Cancelled
+		cs.Agg.Allocs += st.Allocs
+		cs.Agg.Reused += st.Reused
+		cs.Agg.Resizes += st.Resizes
+		cs.Agg.Buckets += st.Buckets
+		if st.MaxQueueDepth > cs.Agg.MaxQueueDepth {
+			cs.Agg.MaxQueueDepth = st.MaxQueueDepth
+		}
+	}
+	return cs
+}

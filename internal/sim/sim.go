@@ -329,3 +329,27 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	return e.now
 }
+
+// RunWindow executes events with time <= deadline and returns the
+// number executed. Unlike RunUntil it leaves the clock at the last
+// executed event rather than advancing it to the deadline, so a
+// coordinator can still inject events anywhere inside the remainder of
+// the window — the contract the conservative parallel Cluster needs.
+func (e *Engine) RunWindow(deadline Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for !e.stopped {
+		ev := e.cal.popMin(deadline, true)
+		if ev == nil {
+			break
+		}
+		e.now = ev.at
+		if e.probe != nil {
+			e.probe(e.now)
+		}
+		e.executed++
+		n++
+		e.dispatch(ev)
+	}
+	return n
+}

@@ -29,6 +29,15 @@ type Topology interface {
 	Name() string
 }
 
+// NodeMajorLinks is implemented by topologies whose link identifiers
+// are node-major: link IDs of node n occupy [n*LinkDegree(),
+// (n+1)*LinkDegree()), owned by the node the link leaves from. The
+// fabric's spatial domain decomposition relies on it to give each
+// domain a contiguous link range.
+type NodeMajorLinks interface {
+	LinkDegree() int
+}
+
 // HopCounter is implemented by topologies that can count route hops
 // without materializing the route. Cost-model transports (cbp, mpi)
 // query hop counts once per message, so the allocation-free path

@@ -48,6 +48,10 @@ func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
 // degenerate dimensions; unused links are simply never routed over.
 func (t *Torus3D) Links() int { return t.Nodes() * torusDegree }
 
+// LinkDegree implements NodeMajorLinks: node n owns links
+// [n*6, (n+1)*6).
+func (t *Torus3D) LinkDegree() int { return torusDegree }
+
 // Coord returns the (x, y, z) coordinates of node id.
 func (t *Torus3D) Coord(id NodeID) (x, y, z int) {
 	validateNode(id, t.Nodes(), t.Name())
