@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchResultToleratesNewFields pins the forward-compatibility
+// contract between deepbench and benchguard: BENCH files may grow
+// fields (the -speedup curve carries windows and blocked_frac from the
+// partitioned kernel) and the gate must keep decoding the ones it
+// gates on, ignoring the rest. Guards against anyone switching the
+// decoder to DisallowUnknownFields.
+func TestBenchResultToleratesNewFields(t *testing.T) {
+	payload := `{
+		"id": "E17",
+		"title": "Partitioned Global-MPI runtime (stencil on K domains)",
+		"fidelity": "default",
+		"runs": 2,
+		"gomaxprocs": 8,
+		"ns_per_op": 420000000,
+		"ms_per_op": 420.0,
+		"future_top_level_field": {"nested": true},
+		"speedup": [
+			{"domains": 1, "ms_per_op": 900.0, "speedup": 1.0},
+			{"domains": 4, "ms_per_op": 300.0, "speedup": 3.0,
+			 "windows": 1200, "blocked_frac": 0.125, "future_field": "x"}
+		]
+	}`
+	var res benchResult
+	if err := json.Unmarshal([]byte(payload), &res); err != nil {
+		t.Fatalf("decode with extra fields: %v", err)
+	}
+	if res.ID != "E17" || res.MsPerOp != 420.0 {
+		t.Fatalf("core fields lost: %+v", res)
+	}
+	if len(res.Speedup) != 2 || res.Speedup[1].Domains != 4 || res.Speedup[1].Speedup != 3.0 {
+		t.Fatalf("speedup curve lost: %+v", res.Speedup)
+	}
+}

@@ -69,19 +69,27 @@ type benchResult struct {
 
 // speedupPoint is one domain count of a -speedup curve; Speedup is
 // relative to the curve's first entry (conventionally K=1, the exact
-// sequential kernel).
+// sequential kernel). Windows and BlockedFrac come from the
+// partitioned kernel's summary counters (kernel_windows and the
+// blocked share of every domain-window slot) — zero for sequential
+// points and experiments without kernel counters.
 type speedupPoint struct {
-	Domains int     `json:"domains"`
-	MsPerOp float64 `json:"ms_per_op"`
-	Speedup float64 `json:"speedup"`
+	Domains     int     `json:"domains"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	Speedup     float64 `json:"speedup"`
+	Windows     uint64  `json:"windows,omitempty"`
+	BlockedFrac float64 `json:"blocked_frac,omitempty"`
 }
 
 // benchKey names the BENCH file for a runner configuration:
 // non-default kernel configurations get their own files (and their
 // own baseline keys) so they never shadow the default timing.
-func benchKey(id string, domains, maxNodes int) string {
+func benchKey(id string, domains, maxWindow, maxNodes int) string {
 	if domains > 1 {
 		id = fmt.Sprintf("%s_d%d", id, domains)
+	}
+	if maxWindow > 1 {
+		id = fmt.Sprintf("%s_w%d", id, maxWindow)
 	}
 	if maxNodes > 0 {
 		id = fmt.Sprintf("%s_n%d", id, maxNodes)
@@ -129,7 +137,7 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 			return err
 		}
 		res := benchResult{
-			ID:         benchKey(id, runner.Domains, runner.MaxNodes),
+			ID:         benchKey(id, runner.Domains, runner.MaxWindow, runner.MaxNodes),
 			Title:      infos[id].Title,
 			Fidelity:   runner.Fidelity.String(),
 			Runs:       reps,
@@ -144,7 +152,7 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 		for _, k := range curve {
 			kr := *runner
 			kr.Domains = k
-			kbest, _, err := timeBest(ctx, &kr, id, reps)
+			kbest, ksum, err := timeBest(ctx, &kr, id, reps)
 			if err != nil {
 				return err
 			}
@@ -152,11 +160,16 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 			if refMs == 0 {
 				refMs = ms
 			}
-			res.Speedup = append(res.Speedup, speedupPoint{
+			p := speedupPoint{
 				Domains: k,
 				MsPerOp: ms,
 				Speedup: refMs / ms,
-			})
+				Windows: uint64(ksum["kernel_windows"]),
+			}
+			if slots := ksum["kernel_windows"] * ksum["domains"]; slots > 0 {
+				p.BlockedFrac = ksum["kernel_blocked_windows"] / slots
+			}
+			res.Speedup = append(res.Speedup, p)
 		}
 		results = append(results, res)
 	}
@@ -181,7 +194,11 @@ func runBench(ctx context.Context, runner *deep.Runner, ids []string, reps int, 
 	for _, res := range results {
 		fmt.Printf("%-5s %-10s %5d %12.3f\n", res.ID, res.Fidelity, res.Runs, res.MsPerOp)
 		for _, p := range res.Speedup {
-			fmt.Printf("      domains=%-3d %5s %12.3f  (x%.2f)\n", p.Domains, "", p.MsPerOp, p.Speedup)
+			line := fmt.Sprintf("      domains=%-3d %5s %12.3f  (x%.2f)", p.Domains, "", p.MsPerOp, p.Speedup)
+			if p.Windows > 0 {
+				line += fmt.Sprintf("  %d windows, %.0f%% blocked", p.Windows, 100*p.BlockedFrac)
+			}
+			fmt.Println(line)
 		}
 	}
 	return nil
@@ -223,6 +240,7 @@ func main() {
 		storeFlag    = flag.String("store", "", "persist finished points to an append-only store in this directory")
 		resumeFlag   = flag.Bool("resume", false, "skip points already in -store (resume a killed sweep)")
 		domainsFlag  = flag.Int("domains", 0, "simulation-kernel domains: 0/1 sequential, K>1 partitioned parallel kernel, -1 = GOMAXPROCS")
+		windowFlag   = flag.Int("window", 0, "adaptive window cap on the partitioned kernel: quiet windows widen up to N x lookahead (0/1: fixed windows)")
 		maxNodesFlag = flag.Int("maxnodes", 0, "bound sweep machine sizes; >103823 adds E15's million-node point (needs -domains >= 2)")
 		speedupFlag  = flag.String("speedup", "", "bench mode: comma-separated domain counts to re-time (e.g. 1,2,4,8); speedups are relative to the first")
 	)
@@ -260,7 +278,7 @@ func main() {
 	defer stop()
 
 	runner := &deep.Runner{Parallel: *parallelFlag, Seed: *seedFlag, Scale: *scaleFlag, Fidelity: fidelity, Energy: *energyFlag,
-		Domains: *domainsFlag, MaxNodes: *maxNodesFlag}
+		Domains: *domainsFlag, MaxWindow: *windowFlag, MaxNodes: *maxNodesFlag}
 	runner.Tracing = *traceFlag != ""
 	if *metricsFlag != "" {
 		runner.MetricsEvery = *sampleFlag

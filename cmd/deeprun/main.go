@@ -100,6 +100,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		storeDir = fs.String("store", "", "persist the run to an append-only store in this directory")
 		resume   = fs.Bool("resume", false, "replay a stored identical run from -store instead of simulating")
 		domains  = fs.Int("domains", 0, "simulation-kernel domain count (0 or 1: sequential kernel; <0: GOMAXPROCS)")
+		maxWin   = fs.Int("maxwindow", 0, "adaptive window cap on the partitioned kernel: quiet windows widen up to N x lookahead (0 or 1: fixed windows)")
 		nz       = fs.Int("nz", 8, "traffic: booster torus Z dimension (with -nx/-ny)")
 		msgs     = fs.Int("msgs", 4096, "traffic: number of point-to-point messages")
 		msgBytes = fs.Int("msgbytes", 2048, "traffic: payload bytes per message")
@@ -161,13 +162,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			MTBF     float64 `json:"mtbf"`
 			Boosters int     `json:"boosters"`
 			Domains  int     `json:"domains,omitempty"`
+			MaxWin   int     `json:"max_window,omitempty"`
 			NZ       int     `json:"nz,omitempty"`
 			Msgs     int     `json:"msgs,omitempty"`
 			MsgBytes int     `json:"msgbytes,omitempty"`
 			WindowMS float64 `json:"window_ms,omitempty"`
 		}{1, "deeprun", *app, *n, *ts, *workers, *nx, *ny, *iters, *ranks,
 			*seed, fid.String(), *energy, *tol, *jobCount, *dynamic, *mtbf, *boosters,
-			*domains, tNZ, tMsgs, tBytes, tWindow})
+			*domains, *maxWin, tNZ, tMsgs, tBytes, tWindow})
 		if err != nil {
 			return fail(err)
 		}
@@ -223,6 +225,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *domains != 0 {
 		opts = append(opts, deep.WithDomains(*domains))
+	}
+	if *maxWin > 1 {
+		opts = append(opts, deep.WithMaxWindow(*maxWin))
 	}
 	if *energy {
 		opts = append(opts, deep.WithEnergyMetering())

@@ -6,11 +6,15 @@
 //	deepsim -topo torus -x 4 -y 4 -z 4 -pattern neighbor -bytes 65536
 //	deepsim -topo fattree -pattern alltoall -bytes 4096 -error 1e-3
 //	deepsim -topo torus -x 8 -y 8 -z 8 -pattern random -domains 4
+//	deepsim -topo fattree -nodes 64 -pattern random -domains 4 -maxwindow 8
 //
-// With -domains k > 1 the torus is partitioned into k z-plane slabs,
-// each simulated by its own domain engine under conservative window
-// synchronization (the parallel kernel). Requires -topo torus and
-// -error 0; results are deterministic per fixed k.
+// With -domains k > 1 the fabric is partitioned into k domain engines
+// under conservative window synchronization (the parallel kernel):
+// z-plane slabs on the torus, leaf-aligned ranges on the fat tree
+// (via its link-ownership map). Requires -error 0; results are
+// deterministic per fixed k. -maxwindow lets quiet windows widen
+// geometrically up to that multiple of the fabric lookahead without
+// changing any delivery time.
 package main
 
 import (
@@ -39,7 +43,8 @@ func main() {
 		errRate  = flag.Float64("error", 0, "per-packet link error probability")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		fidelity = flag.String("fidelity", "packet", "transfer model: packet | flow | auto")
-		domains  = flag.Int("domains", 1, "partition the torus into this many domain engines (torus only, -error 0)")
+		domains  = flag.Int("domains", 1, "partition the fabric into this many domain engines (torus or fattree, -error 0)")
+		maxWin   = flag.Int("maxwindow", 0, "adaptive window cap on the partitioned kernel: quiet windows widen up to N x lookahead (0 or 1: fixed windows)")
 	)
 	flag.Parse()
 
@@ -102,28 +107,45 @@ func main() {
 		cluster   *sim.ClusterStats
 	)
 	if *domains > 1 {
-		// Partitioned kernel: one domain engine per z-plane slab under
-		// conservative window synchronization. Deliveries are counted
-		// per domain — each callback runs on its source node's engine
-		// goroutine — and summed after the run.
-		if tor == nil {
-			fmt.Fprintln(os.Stderr, "deepsim: -domains needs -topo torus")
+		// Partitioned kernel: one domain engine per z-plane slab of the
+		// torus, or per leaf-aligned node range of the fat tree (whose
+		// link-ownership map anchors switch links to the leaf's first
+		// node). Deliveries are counted per domain — each callback runs
+		// on its source node's engine goroutine — and summed after the
+		// run.
+		k := *domains
+		var bounds []int
+		switch {
+		case tor != nil:
+			if k > *z {
+				k = *z
+			}
+			bounds = make([]int, k+1)
+			for d := 0; d <= k; d++ {
+				bounds[d] = (d * *z / k) * *x * *y
+			}
+		case *topoName == "fattree":
+			ft := topo.(*topology.FatTree)
+			if k > ft.Leaves {
+				k = ft.Leaves
+			}
+			bounds = make([]int, k+1)
+			for d := 0; d <= k; d++ {
+				bounds[d] = (d * ft.Leaves / k) * ft.NodesPerLeaf
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "deepsim: -domains needs -topo torus or fattree")
 			os.Exit(1)
 		}
-		k := *domains
-		if k > *z {
-			k = *z
-		}
-		bounds := make([]int, k+1)
-		for d := 0; d <= k; d++ {
-			bounds[d] = (d * *z / k) * *x * *y
-		}
-		doms, err := fabric.NewDomains(tor, params, *seed, bounds)
+		doms, err := fabric.NewDomains(topo, params, *seed, bounds)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
 			os.Exit(1)
 		}
 		doms.SetFidelity(fid)
+		if *maxWin > 1 {
+			doms.SetMaxWindow(*maxWin)
+		}
 		perDomain := make([]int, k)
 		for _, m := range msgs {
 			d := doms.Owner(m.Src)
@@ -189,6 +211,10 @@ func main() {
 		tab.AddRow("domains", cluster.Domains)
 		tab.AddRow("kernel_windows", int(cluster.Windows))
 		tab.AddRow("cross_messages", int(fst.CrossMessages))
+		if cluster.MaxWindow > 1 {
+			tab.AddRow("max_window", cluster.MaxWindow)
+			tab.AddRow("wide_windows", int(cluster.WideWindows))
+		}
 	}
 	if err := tab.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)

@@ -96,7 +96,13 @@ type Machine struct {
 	tracing        bool
 	metricsEvery   float64
 	domains        int
+	maxWindow      int
 }
+
+// ErrPartitionUnsupported marks machine configurations the partitioned
+// kernel (WithDomains(k > 1)) cannot honour; match it with errors.Is
+// to turn a construction failure into a clear submit-time message.
+var ErrPartitionUnsupported = fabric.ErrPartitionUnsupported
 
 // PowerModel overrides a node class's electrical parameters. Zero
 // fields keep the built-in period-plausible value of the underlying
@@ -243,6 +249,15 @@ func WithMetrics(sampleSeconds float64) Option {
 // k. A negative value resolves to GOMAXPROCS at run time.
 func WithDomains(k int) Option { return func(m *Machine) { m.domains = k } }
 
+// WithMaxWindow caps adaptive window widening on the partitioned
+// kernel: when a synchronization window closes without cross-domain
+// traffic the next window deadline widens geometrically, up to mult
+// times the fabric lookahead, and shrinks back to one lookahead as
+// soon as cross traffic reappears. 0 or 1 (the default) keeps fixed
+// windows. Output stays byte-stable per (domain count, cap) pair. The
+// option has no effect on the sequential kernel.
+func WithMaxWindow(mult int) Option { return func(m *Machine) { m.maxWindow = mult } }
+
 // WithClusterPowerModel overrides the cluster-side (Xeon) electrical
 // parameters.
 func WithClusterPowerModel(p PowerModel) Option {
@@ -291,6 +306,13 @@ func NewMachine(opts ...Option) (*Machine, error) {
 		if f.NodeMTBF < 0 || f.Repair < 0 || f.Horizon < 0 || f.WeibullShape < 0 {
 			return nil, fmt.Errorf("deep: fault plan has negative parameters: %+v", *f)
 		}
+		if m.Domains() > 1 {
+			return nil, fmt.Errorf("deep: fault injection is %w: drop WithFaultInjector or run WithDomains(1)",
+				ErrPartitionUnsupported)
+		}
+	}
+	if m.maxWindow < 0 {
+		return nil, fmt.Errorf("deep: negative adaptive-window cap %d", m.maxWindow)
 	}
 	if m.wakeSeconds < 0 {
 		return nil, fmt.Errorf("deep: negative wake latency %v s", m.wakeSeconds)
@@ -365,6 +387,15 @@ func (m *Machine) Domains() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return m.domains
+}
+
+// MaxWindow returns the adaptive-window widening cap (1 = fixed
+// windows).
+func (m *Machine) MaxWindow() int {
+	if m.maxWindow < 2 {
+		return 1
+	}
+	return m.maxWindow
 }
 
 // String summarises the machine configuration.

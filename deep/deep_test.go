@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -114,6 +115,24 @@ func TestRanksBeyondClusterRejected(t *testing.T) {
 	env.PlaceOnBooster = true
 	if _, err := deep.Run(context.Background(), env, deep.SpMV{NX: 16, NY: 16, Iters: 2}); err != nil {
 		t.Fatalf("booster placement rejected: %v", err)
+	}
+}
+
+// TestFaultsRefusedUnderPartition guards the typed refusal: fault
+// injection cannot run on the partitioned kernel, the error is
+// identifiable with errors.Is, and the message names the fix.
+func TestFaultsRefusedUnderPartition(t *testing.T) {
+	_, err := deep.NewMachine(
+		deep.WithFaultInjector(deep.FaultPlan{NodeMTBF: 50, Repair: 2, Horizon: 300, Seed: 9}),
+		deep.WithDomains(2))
+	if err == nil {
+		t.Fatal("NewMachine accepted fault injection under the partitioned kernel")
+	}
+	if !errors.Is(err, deep.ErrPartitionUnsupported) {
+		t.Fatalf("error %v is not deep.ErrPartitionUnsupported", err)
+	}
+	if !strings.Contains(err.Error(), "WithDomains(1)") {
+		t.Fatalf("error %q does not name the fix", err)
 	}
 }
 

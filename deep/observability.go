@@ -38,6 +38,11 @@ type KernelStats struct {
 	Domains     int    `json:"domains,omitempty"`
 	Windows     uint64 `json:"windows,omitempty"`
 	CrossEvents uint64 `json:"cross_events,omitempty"`
+	// MaxWindow and WideWindows describe adaptive window widening
+	// (WithMaxWindow): the configured cap and how many windows actually
+	// ran widened. Absent under fixed windows.
+	MaxWindow   int    `json:"max_window,omitempty"`
+	WideWindows uint64 `json:"wide_windows,omitempty"`
 	// PerDomain breaks the counters down by domain engine, present
 	// only under the partitioned kernel.
 	PerDomain []DomainKernelStats `json:"per_domain,omitempty"`
@@ -78,6 +83,10 @@ func clusterKernelStats(cs sim.ClusterStats) *KernelStats {
 	k.Domains = cs.Domains
 	k.Windows = cs.Windows
 	k.CrossEvents = cs.CrossEvents
+	if cs.MaxWindow > 1 {
+		k.MaxWindow = cs.MaxWindow
+		k.WideWindows = cs.WideWindows
+	}
 	k.PerDomain = make([]DomainKernelStats, len(cs.PerDomain))
 	for i, d := range cs.PerDomain {
 		k.PerDomain[i] = DomainKernelStats{

@@ -153,6 +153,11 @@ type Runner struct {
 	// byte-stable per fixed K, not across K), negative resolves to
 	// GOMAXPROCS.
 	Domains int
+	// MaxWindow, when above 1, lets the partitioned kernel widen
+	// quiet windows geometrically up to MaxWindow times the fabric
+	// lookahead; 0 or 1 keeps fixed windows. Output stays byte-stable
+	// per fixed (Domains, MaxWindow) pair. Ignored when Domains <= 1.
+	MaxWindow int
 	// MaxNodes, when positive, bounds the machine sizes sweep
 	// experiments visit; raising it past the sequential ceiling
 	// (~100k nodes) adds E15's million-node point, which requires
@@ -214,7 +219,7 @@ func (r *Runner) Run(ctx context.Context, ids ...string) (*Report, error) {
 		o.OnObserve = r.Progress
 	}
 	cfg := &expt.Config{Seed: r.Seed, Scale: r.Scale, Fidelity: fabric.Fidelity(r.Fidelity),
-		Energy: r.Energy, Domains: r.Domains, MaxNodes: r.MaxNodes, Obs: o}
+		Energy: r.Energy, Domains: r.Domains, MaxWindow: r.MaxWindow, MaxNodes: r.MaxNodes, Obs: o}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}

@@ -102,6 +102,9 @@ func (w TorusTraffic) Run(ctx context.Context, env *Env) (*Result, error) {
 	if k > 1 {
 		doms, _ := machine.BoosterFabricPar(x, y, z, k, fid, m.seed)
 		k = doms.Domains()
+		if mw := m.MaxWindow(); mw > 1 {
+			doms.SetMaxWindow(mw)
+		}
 		if m.energy {
 			doms.SetEnergyModel(fabric.ExtollEnergy)
 			metered = true

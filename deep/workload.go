@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ompss"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Workload is anything that can execute on a DEEP machine and verify
@@ -72,10 +73,9 @@ func runVerified(ctx context.Context, env *Env, res *Result, want []float64, tol
 		return fmt.Errorf("deep: %d ranks exceed the machine's %d cluster nodes (grow the machine or set Env.PlaceOnBooster)",
 			env.Ranks, env.Machine.clusterNodes)
 	}
-	world := mpi.NewWorld(tr, opts...)
 	results := make([][]float64, env.Ranks)
 	traffic := make([]mpi.Stats, env.Ranks)
-	makespan, err := world.Run(env.Ranks, func(c *mpi.Comm) error {
+	body := func(c *mpi.Comm) error {
 		out, err := fn(c)
 		if err != nil {
 			return err
@@ -83,7 +83,26 @@ func runVerified(ctx context.Context, env *Env, res *Result, want []float64, tol
 		results[c.Rank()] = out
 		traffic[c.Rank()] = c.Stats()
 		return nil
-	})
+	}
+	var makespan sim.Time
+	var err error
+	if k := env.Machine.Domains(); k > 1 {
+		// Partitioned runtime: ranks pinned to k domain engines, message
+		// deliveries merged as conservative cross-domain events. The
+		// virtual-clock arithmetic is identical to the plain world, so
+		// the modelled makespan does not depend on k.
+		pw, perr := mpi.NewPartitionedWorld(tr, k, opts...)
+		if perr != nil {
+			return perr
+		}
+		if mw := env.Machine.MaxWindow(); mw > 1 {
+			pw.SetMaxWindow(mw)
+		}
+		makespan, err = pw.Run(env.Ranks, body)
+		res.Kernel = clusterKernelStats(pw.KernelStats())
+	} else {
+		makespan, err = mpi.NewWorld(tr, opts...).Run(env.Ranks, body)
+	}
 	if err != nil {
 		return err
 	}

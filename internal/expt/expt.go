@@ -48,6 +48,13 @@ type Config struct {
 	// synchronization (output is byte-stable per K, not across K); a
 	// negative value resolves to GOMAXPROCS.
 	Domains int
+	// MaxWindow caps adaptive window widening on the partitioned
+	// kernel: quiet windows (no cross-domain traffic) geometrically
+	// widen the next deadline up to MaxWindow times the fabric
+	// lookahead; cross traffic shrinks back to one lookahead. 0 or 1
+	// keeps fixed windows. Only meaningful with Domains > 1; output is
+	// byte-stable per (Domains, MaxWindow) pair.
+	MaxWindow int
 	// MaxNodes, when non-zero, bounds the machine sizes a sweep
 	// experiment visits. The default sweeps stop near 100k nodes (the
 	// sequential kernel's practical ceiling); raising MaxNodes to 10^6
@@ -96,6 +103,15 @@ func (c *Config) domains() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Domains
+}
+
+// maxWindow resolves the adaptive widening cap: 1 (fixed windows)
+// unless a cap of at least 2 is configured.
+func (c *Config) maxWindow() int {
+	if c == nil || c.MaxWindow < 2 {
+		return 1
+	}
+	return c.MaxWindow
 }
 
 // maxNodes resolves the sweep size bound given an experiment's

@@ -48,18 +48,54 @@ func TestParallelE15MatchesSequential(t *testing.T) {
 	if !testing.Short() {
 		limit = 20000 // adds the 25^3 point
 	}
-	cfg := func(k int, fid fabric.Fidelity) *Config {
-		return &Config{Scale: 1, MaxNodes: limit, Domains: k, Fidelity: fid}
+	cfg := func(k, mw int, fid fabric.Fidelity) *Config {
+		return &Config{Scale: 1, MaxNodes: limit, Domains: k, MaxWindow: mw, Fidelity: fid}
 	}
 	for _, fid := range []fabric.Fidelity{fabric.FidelityFlow, fabric.FidelityPacket} {
-		seq := renderWith(t, e, cfg(1, fid))
-		for _, k := range []int{2, 4} {
-			par := renderWith(t, e, cfg(k, fid))
+		seq := renderWith(t, e, cfg(1, 0, fid))
+		for _, k := range []int{2, 4, 6} {
+			par := renderWith(t, e, cfg(k, 0, fid))
 			if !bytes.Equal(par, seq) {
 				t.Fatalf("fidelity %v: K=%d table diverges from sequential:\n--- K=1 ---\n%s\n--- K=%d ---\n%s",
 					fid, k, seq, k, par)
 			}
+			// Adaptive windows move barriers, never virtual timestamps.
+			adaptive := renderWith(t, e, cfg(k, 8, fid))
+			if !bytes.Equal(adaptive, seq) {
+				t.Fatalf("fidelity %v: K=%d MaxWindow=8 table diverges from sequential:\n--- K=1 ---\n%s\n--- adaptive ---\n%s",
+					fid, k, seq, adaptive)
+			}
 		}
+	}
+}
+
+// TestE15AdaptiveReducesWindows is the adaptive-window payoff on the
+// sparse-cross E15 sweep (every phase is shard-local, so windows close
+// quiet and the deadline widens to the cap): the kernel must finish in
+// at most half the fixed-lookahead window count.
+func TestE15AdaptiveReducesWindows(t *testing.T) {
+	e, _ := Get("E15")
+	run := func(mw int) *stats.Table {
+		tab, err := e.Run(context.Background(),
+			&Config{Scale: 1, Domains: 2, MaxWindow: mw, MaxNodes: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	fixed, adaptive := run(0), run(8)
+	fw, aw := fixed.Summary["kernel_windows"], adaptive.Summary["kernel_windows"]
+	if fw <= 0 || aw <= 0 {
+		t.Fatalf("kernel window counters missing: fixed %v adaptive %v", fw, aw)
+	}
+	if aw*2 > fw {
+		t.Fatalf("adaptive windows %v not at least 2x below fixed %v", aw, fw)
+	}
+	if adaptive.Summary["kernel_wide_windows"] <= 0 {
+		t.Fatalf("adaptive run reports no widened windows: %v", adaptive.Summary)
+	}
+	if adaptive.Summary["kernel_max_window"] != 8 {
+		t.Fatalf("summary kernel_max_window = %v, want 8", adaptive.Summary["kernel_max_window"])
 	}
 }
 

@@ -28,6 +28,10 @@ type Spec struct {
 	// (the default), K > 1 partitioned, negative GOMAXPROCS (resolved
 	// at canonicalisation time, so the cache key pins the actual K).
 	Domains int `json:"domains,omitempty"`
+	// MaxWindow caps adaptive window widening on the partitioned
+	// kernel; 0 or 1 keeps fixed windows (and keeps pre-existing specs'
+	// content addresses via omitempty).
+	MaxWindow int `json:"max_window,omitempty"`
 	// MaxNodes bounds sweep machine sizes; 0 keeps each experiment's
 	// default ceiling.
 	MaxNodes int `json:"max_nodes,omitempty"`
@@ -47,8 +51,11 @@ func (s Spec) Config() (*Config, error) {
 	if s.MaxNodes < 0 {
 		return nil, fmt.Errorf("expt: spec: negative max_nodes %d", s.MaxNodes)
 	}
+	if s.MaxWindow < 0 {
+		return nil, fmt.Errorf("expt: spec: negative max_window %d", s.MaxWindow)
+	}
 	cfg := &Config{Seed: s.Seed, Scale: s.Scale, Fidelity: fid, Energy: s.Energy,
-		Domains: s.Domains, MaxNodes: s.MaxNodes}
+		Domains: s.Domains, MaxWindow: s.MaxWindow, MaxNodes: s.MaxNodes}
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
@@ -74,6 +81,9 @@ func (c *Config) Spec() Spec {
 	// and any content hash over it — names the actual K it ran with.
 	if d := c.domains(); d > 1 {
 		s.Domains = d
+	}
+	if w := c.maxWindow(); w > 1 {
+		s.MaxWindow = w
 	}
 	if c.MaxNodes > 0 {
 		s.MaxNodes = c.MaxNodes

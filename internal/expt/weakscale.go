@@ -276,12 +276,15 @@ func runE15Par(ctx context.Context, cfg *Config, edges []int) (*stats.Table, err
 		"E15 Weak scaling on the booster torus, 1k -> 100k nodes",
 		cfg.energyHeaders("torus", "nodes", "peak_TF", "round_ms", "halo_us", "reduce_us", "weak_eff")...)
 	var base sim.Time
-	var kexec, kwin, kblocked, kcross uint64
+	var kexec, kwin, kblocked, kcross, kwide uint64
 	for _, k := range edges {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		doms, tor := machine.BoosterFabricPar(k, k, k, cfg.domains(), fid, 2013)
+		if mw := cfg.maxWindow(); mw > 1 {
+			doms.SetMaxWindow(mw)
+		}
 		cl := doms.Cluster()
 		K := doms.Domains()
 		bounds := doms.Bounds()
@@ -397,6 +400,7 @@ func runE15Par(ctx context.Context, cfg *Config, edges []int) (*stats.Table, err
 		kexec += ks.Agg.Executed
 		kwin += ks.Windows
 		kcross += ks.CrossEvents
+		kwide += ks.WideWindows
 		for _, ds := range ks.PerDomain {
 			kblocked += ds.BlockedWindows
 		}
@@ -422,6 +426,10 @@ func runE15Par(ctx context.Context, cfg *Config, edges []int) (*stats.Table, err
 	tab.SetSummary("kernel_executed", float64(kexec))
 	tab.SetSummary("kernel_blocked_windows", float64(kblocked))
 	tab.SetSummary("kernel_cross_events", float64(kcross))
+	if mw := cfg.maxWindow(); mw > 1 {
+		tab.SetSummary("kernel_max_window", float64(mw))
+		tab.SetSummary("kernel_wide_windows", float64(kwide))
+	}
 	return tab, nil
 }
 

@@ -51,6 +51,14 @@ type Network struct {
 	domain   int
 	linkBase int
 
+	// Owner-mapped shards (topologies whose link IDs are not node-major,
+	// e.g. fat trees): slot[l] is the dense index of global link l in
+	// the per-link slices, -1 when another shard owns it, and owned
+	// lists this shard's global link IDs in slot order. Both are nil on
+	// unpartitioned networks and on contiguous node-major shards.
+	slot  []int32
+	owned []topology.LinkID
+
 	// Flow fast-path state (see flow.go): the configured fidelity,
 	// the per-link reservation ledger, a scratch buffer for planned
 	// hop start times, and the pending flow-completion table.
@@ -109,8 +117,23 @@ func NewNetwork(eng *sim.Engine, topo topology.Topology, p Params, seed uint64) 
 }
 
 // li maps a global link ID into this network's per-link slices: the
-// identity normally, the owned-range offset on a partitioned shard.
-func (n *Network) li(l topology.LinkID) int { return int(l) - n.linkBase }
+// identity normally, the owned-range offset on a contiguous
+// partitioned shard, the dense slot lookup on an owner-mapped shard.
+func (n *Network) li(l topology.LinkID) int {
+	if n.slot != nil {
+		return int(n.slot[l])
+	}
+	return int(l) - n.linkBase
+}
+
+// gl maps a per-shard link index back to its global link ID — the
+// inverse of li over this shard's owned links.
+func (n *Network) gl(i int) topology.LinkID {
+	if n.owned != nil {
+		return n.owned[i]
+	}
+	return topology.LinkID(i + n.linkBase)
+}
 
 // link returns the serialization resource of link l, created on first
 // use: a 100k-node torus has 600k links, and eagerly materialising a
@@ -166,7 +189,7 @@ func (n *Network) LinkUtilisation(l topology.LinkID) float64 {
 func (n *Network) MaxLinkUtilisation() float64 {
 	max := 0.0
 	for l := range n.links {
-		if u := n.LinkUtilisation(topology.LinkID(l + n.linkBase)); u > max {
+		if u := n.LinkUtilisation(n.gl(l)); u > max {
 			max = u
 		}
 	}
@@ -394,7 +417,7 @@ func (n *Network) ObsLinkUtil() {
 	}
 	now := n.Eng.Now()
 	for i := range n.links {
-		l := i + n.linkBase
+		l := int(n.gl(i))
 		if u := n.LinkUtilisation(topology.LinkID(l)); u > 0 {
 			n.Obs.Instant(obs.LaneLinks+l, "fabric", "link-util", now,
 				obs.KV{K: "link", V: l}, obs.KV{K: "utilisation", V: u})

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,13 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+// ErrPartitionUnsupported marks fabric configurations the partitioned
+// kernel cannot honour — fault injection and link outages rely on
+// shard-crossing state the cross-domain shortcut does not model. Match
+// it with errors.Is to turn a setup failure deep inside machine
+// construction into a clear submit-time message.
+var ErrPartitionUnsupported = errors.New("not supported under the partitioned kernel")
 
 // Domains is a spatially partitioned fabric: the node space is split
 // into K contiguous index ranges, each owning the links that leave its
@@ -36,18 +44,21 @@ type Domains struct {
 
 // NewDomains partitions topo's nodes at the given bounds (a strictly
 // increasing sequence from 0 to Nodes(), one shard per interval) and
-// builds the K-domain fabric. The topology must have node-major link
-// IDs so each shard's link state is a contiguous range.
+// builds the K-domain fabric. Node-major topologies (the torus) give
+// each shard a contiguous link range; topologies that instead anchor
+// links to nodes via topology.LinkOwner (the fat tree) get a dense
+// owner map per shard. Either layout must be present.
 func NewDomains(topo topology.Topology, p Params, seed uint64, bounds []int) (*Domains, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.PacketErrorRate > 0 {
-		return nil, fmt.Errorf("fabric: packet error injection is not supported under the partitioned kernel")
+		return nil, fmt.Errorf("fabric: packet error injection is %w", ErrPartitionUnsupported)
 	}
-	nm, ok := topo.(topology.NodeMajorLinks)
-	if !ok {
-		return nil, fmt.Errorf("fabric: %s has no node-major link layout; cannot partition", topo.Name())
+	nm, nodeMajor := topo.(topology.NodeMajorLinks)
+	lo, hasOwner := topo.(topology.LinkOwner)
+	if !nodeMajor && !hasOwner {
+		return nil, fmt.Errorf("fabric: %s has neither node-major links nor a link-ownership map; cannot partition", topo.Name())
 	}
 	k := len(bounds) - 1
 	if k < 1 {
@@ -61,7 +72,6 @@ func NewDomains(topo topology.Topology, p Params, seed uint64, bounds []int) (*D
 			return nil, fmt.Errorf("fabric: partition bounds %v not strictly increasing", bounds)
 		}
 	}
-	deg := nm.LinkDegree()
 	d := &Domains{
 		cl:     sim.NewCluster(k, p.Lookahead()),
 		topo:   topo,
@@ -70,19 +80,42 @@ func NewDomains(topo topology.Topology, p Params, seed uint64, bounds []int) (*D
 		bounds: append([]int(nil), bounds...),
 	}
 	for i := 0; i < k; i++ {
-		lo, hi := bounds[i]*deg, bounds[i+1]*deg
-		sh := &Network{
-			Eng:      d.cl.Engine(i),
-			Topo:     topo,
-			P:        p,
-			src:      rng.New(seed + uint64(i)),
-			part:     d,
-			domain:   i,
-			linkBase: lo,
+		d.shards[i] = &Network{
+			Eng:    d.cl.Engine(i),
+			Topo:   topo,
+			P:      p,
+			src:    rng.New(seed + uint64(i)),
+			part:   d,
+			domain: i,
 		}
-		sh.links = make([]*sim.Resource, hi-lo)
-		sh.down = make([]bool, hi-lo)
-		d.shards[i] = sh
+	}
+	if nodeMajor {
+		deg := nm.LinkDegree()
+		for i, sh := range d.shards {
+			sh.linkBase = bounds[i] * deg
+			sh.links = make([]*sim.Resource, (bounds[i+1]-bounds[i])*deg)
+			sh.down = make([]bool, len(sh.links))
+		}
+		return d, nil
+	}
+	// Owner-mapped layout: assign every link to the domain owning its
+	// anchor node and give each shard a dense slot table plus the
+	// inverse owned-link list for iteration.
+	links := topo.Links()
+	for _, sh := range d.shards {
+		sh.slot = make([]int32, links)
+		for j := range sh.slot {
+			sh.slot[j] = -1
+		}
+	}
+	for l := 0; l < links; l++ {
+		sh := d.shards[d.Owner(lo.LinkOwner(topology.LinkID(l)))]
+		sh.slot[l] = int32(len(sh.owned))
+		sh.owned = append(sh.owned, topology.LinkID(l))
+	}
+	for _, sh := range d.shards {
+		sh.links = make([]*sim.Resource, len(sh.owned))
+		sh.down = make([]bool, len(sh.owned))
 	}
 	return d, nil
 }
@@ -125,6 +158,10 @@ func (d *Domains) SetFidelity(f Fidelity) {
 		sh.SetFidelity(f)
 	}
 }
+
+// SetMaxWindow caps adaptive window widening on the underlying
+// kernel; see sim.Cluster.SetMaxWindow. Call before Run.
+func (d *Domains) SetMaxWindow(mult int) { d.cl.SetMaxWindow(mult) }
 
 // SetEnergyModel attaches the electrical model to every shard.
 func (d *Domains) SetEnergyModel(e EnergyModel) {
@@ -181,7 +218,7 @@ func (d *Domains) MaxLinkUtilisation() float64 {
 	max := 0.0
 	for _, sh := range d.shards {
 		for i := range sh.links {
-			if u := float64(sh.linkBusyTime(topology.LinkID(i+sh.linkBase))) / float64(now); u > max {
+			if u := float64(sh.linkBusyTime(sh.gl(i))) / float64(now); u > max {
 				max = u
 			}
 		}
@@ -192,6 +229,14 @@ func (d *Domains) MaxLinkUtilisation() float64 {
 // routeLocal reports whether every link of route is owned by this
 // shard.
 func (n *Network) routeLocal(route []topology.LinkID) bool {
+	if n.slot != nil {
+		for _, l := range route {
+			if n.slot[l] < 0 {
+				return false
+			}
+		}
+		return true
+	}
 	lo, hi := n.linkBase, n.linkBase+len(n.down)
 	for _, l := range route {
 		if int(l) < lo || int(l) >= hi {

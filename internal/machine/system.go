@@ -225,6 +225,31 @@ func BoosterFabricPar(x, y, z, k int, fid fabric.Fidelity, seed uint64) (*fabric
 	return doms, tor
 }
 
+// ClusterFabricPar builds the InfiniBand fat tree of a cluster machine
+// as a spatially partitioned fabric for the parallel kernel: the node
+// space splits into at most k leaf-aligned ranges (the fat tree's
+// link-ownership map anchors each leaf's switch links to the leaf's
+// first node, so a route's links always belong to the two endpoint
+// domains), each simulated by its own engine under conservative window
+// synchronization. k is clamped to the number of leaves; the effective
+// domain count is Domains() on the result.
+func ClusterFabricPar(nodesPerLeaf, leaves, spines, k int, fid fabric.Fidelity, seed uint64) (*fabric.Domains, *topology.FatTree) {
+	ft := topology.NewFatTree(nodesPerLeaf, leaves, spines)
+	if k > leaves {
+		k = leaves
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	for d := 0; d <= k; d++ {
+		bounds[d] = (d * leaves / k) * nodesPerLeaf
+	}
+	doms := fabric.MustDomains(ft, fabric.InfiniBandFDR, seed, bounds)
+	doms.SetFidelity(fid)
+	return doms, ft
+}
+
 // KernelTime is a convenience that evaluates k on the system's booster
 // or cluster node model.
 func (s *System) KernelTime(k Kernel, onBooster bool, procs int) sim.Time {

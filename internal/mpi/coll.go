@@ -33,12 +33,17 @@ func (c *Comm) sendInternal(dst int, tag Tag, data any) {
 	epDst := c.world.endpoint(c.destEndpoint(dst))
 	cost := t.Cost(c.world.nodeOf(c.ep.id), c.world.nodeOf(epDst.id), bytes)
 	c.ep.vt += t.SendOverhead()
-	epDst.deliver(envelope{
+	env := envelope{
 		ctx: c.ctx, srcRank: c.rank, tag: tag,
 		data: clonePayload(data), bytes: bytes, stamp: c.ep.vt + cost,
-	})
+	}
 	c.ep.sentMsgs++
 	c.ep.sentBytes += uint64(bytes)
+	if c.world.rt != nil {
+		c.world.rt.send(c, epDst, env)
+		return
+	}
+	epDst.deliver(env)
 }
 
 // Op combines src into dst elementwise; len(dst) == len(src).

@@ -94,6 +94,10 @@ func (c *Comm) Send(dst int, tag Tag, data any) {
 	}
 	c.ep.sentMsgs++
 	c.ep.sentBytes += uint64(bytes)
+	if c.world.rt != nil {
+		c.world.rt.send(c, epDst, env)
+		return
+	}
 	epDst.deliver(env)
 }
 
@@ -137,7 +141,11 @@ func (c *Comm) Recv(src int, tag Tag) (any, Status) {
 		if ok {
 			break
 		}
-		ep.cond.Wait()
+		if c.world.rt != nil {
+			c.world.rt.wait(c)
+		} else {
+			ep.cond.Wait()
+		}
 	}
 	ep.mu.Unlock()
 	arrived := env.stamp

@@ -120,6 +120,13 @@ type World struct {
 	errMu  sync.Mutex
 	errs   []error
 	spawns uint64
+
+	// rt, when non-nil, diverts message delivery and receive blocking
+	// through the partitioned runtime (see PartitionedWorld): deliveries
+	// become simulation events on the destination rank's domain engine
+	// and a blocked Recv parks its rank instead of waiting on the
+	// mailbox condition.
+	rt router
 }
 
 // endpoint returns the endpoint with the given id; ids are never

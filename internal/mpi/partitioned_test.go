@@ -1,0 +1,221 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// torusTransport returns a fabric transport whose node count covers n
+// identity-placed ranks.
+func torusTransport(t *testing.T) *FabricTransport {
+	t.Helper()
+	return NewFabricTransport(topology.NewTorus3D(2, 2, 2), fabric.Extoll)
+}
+
+// ringApp is a deterministic halo-exchange workload: every rank
+// computes, sends right, receives from the left, then joins an
+// Allreduce and a Barrier. All receives name their source, so the
+// modelled makespan is independent of delivery interleaving.
+func ringApp(iters int) func(*Comm) error {
+	return func(c *Comm) error {
+		n := c.Size()
+		data := make([]float64, 64)
+		for it := 0; it < iters; it++ {
+			c.Advance(5 * sim.Microsecond)
+			c.Send((c.Rank()+1)%n, Tag(it), data)
+			c.Recv((c.Rank()-1+n)%n, Tag(it))
+		}
+		c.Allreduce([]float64{float64(c.Rank())}, OpSum)
+		c.Barrier()
+		return nil
+	}
+}
+
+func TestPartitionedNeedsMinCoster(t *testing.T) {
+	if _, err := NewPartitionedWorld(ZeroTransport{}, 2); err == nil {
+		t.Fatal("expected error for transport without MinCost")
+	} else if !strings.Contains(err.Error(), "MinCoster") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPartitionedMatchesWorldMakespan(t *testing.T) {
+	const n, iters = 8, 20
+	tr := torusTransport(t)
+	want, err := NewWorld(tr).Run(n, ringApp(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("sequential makespan is zero")
+	}
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		pw, err := NewPartitionedWorld(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pw.Run(n, ringApp(iters))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("K=%d makespan %v, plain world %v", k, got, want)
+		}
+		st := pw.KernelStats()
+		if k > 1 && st.CrossEvents == 0 {
+			t.Fatalf("K=%d: no cross-domain events for a ring exchange", k)
+		}
+		if k > 1 && st.Windows == 0 {
+			t.Fatalf("K=%d: kernel reports zero windows", k)
+		}
+	}
+}
+
+func TestPartitionedAdaptiveMatchesFixed(t *testing.T) {
+	const n, iters = 8, 20
+	tr := torusTransport(t)
+	fixed, err := NewPartitionedWorld(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixed.Run(n, ringApp(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewPartitionedWorld(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive.SetMaxWindow(8)
+	got, err := adaptive.Run(n, ringApp(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("adaptive makespan %v, fixed %v", got, want)
+	}
+	if st := adaptive.KernelStats(); st.MaxWindow != 8 {
+		t.Fatalf("adaptive kernel MaxWindow = %d, want 8", st.MaxWindow)
+	}
+}
+
+func TestPartitionedCollectivesCorrect(t *testing.T) {
+	const n = 5
+	pw, err := NewPartitionedWorld(torusTransport(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pw.Run(n, func(c *Comm) error {
+		sum := c.Allreduce([]float64{float64(c.Rank() + 1)}, OpSum)
+		if sum[0] != n*(n+1)/2 {
+			t.Errorf("rank %d: Allreduce got %v", c.Rank(), sum[0])
+		}
+		all := c.Allgather([]int{c.Rank()})
+		for i, v := range all {
+			if got := v.([]int)[0]; got != i {
+				t.Errorf("rank %d: Allgather[%d] = %d", c.Rank(), i, got)
+			}
+		}
+		root := c.Bcast(2, pickAt(c.Rank() == 2, []int{42}))
+		if got := root.([]int)[0]; got != 42 {
+			t.Errorf("rank %d: Bcast got %d", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pickAt(cond bool, v []int) any {
+	if cond {
+		return v
+	}
+	return nil
+}
+
+func TestPartitionedDeadlockDetected(t *testing.T) {
+	pw, err := NewPartitionedWorld(torusTransport(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pw.Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 5) // never sent
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestPartitionedSpawnRefused(t *testing.T) {
+	pw, err := NewPartitionedWorld(torusTransport(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pw.Run(2, func(c *Comm) error {
+		c.Spawn(1, DefaultSpawnConfig(), func(*Comm) error { return nil })
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "Spawn is not supported") {
+		t.Fatalf("expected Spawn refusal, got %v", err)
+	}
+}
+
+func TestPartitionedSameNodeCrossDomainPanics(t *testing.T) {
+	// Collapsing all ranks onto transport node 0 makes the cross-domain
+	// message cost zero, which the conservative kernel cannot admit.
+	pw, err := NewPartitionedWorld(torusTransport(t), 2,
+		WithPlacement(func(int) int { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pw.Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil)
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "violates lookahead") {
+		t.Fatalf("expected lookahead violation, got %v", err)
+	}
+}
+
+func TestPartitionedRunTwice(t *testing.T) {
+	pw, err := NewPartitionedWorld(torusTransport(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Run(2, ringApp(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Run(2, ringApp(1)); err == nil {
+		t.Fatal("expected second Run to fail")
+	}
+}
+
+func TestPartitionedErrorsJoin(t *testing.T) {
+	pw, err := NewPartitionedWorld(torusTransport(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	_, err = pw.Run(4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected wrapped rank error, got %v", err)
+	}
+}

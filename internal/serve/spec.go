@@ -33,8 +33,11 @@ type JobSpec struct {
 	// lifts or lowers experiment sweep ceilings (experiment jobs only).
 	// Both carry omitempty so pre-existing specs keep their content
 	// addresses.
-	Domains  int `json:"domains,omitempty"`
-	MaxNodes int `json:"max_nodes,omitempty"`
+	Domains int `json:"domains,omitempty"`
+	// MaxWindow caps adaptive window widening on the partitioned
+	// kernel; 0 or 1 keeps fixed windows.
+	MaxWindow int `json:"max_window,omitempty"`
+	MaxNodes  int `json:"max_nodes,omitempty"`
 	// Trace records a Chrome trace attachment; MetricsEveryS samples a
 	// metrics-CSV attachment every that many virtual seconds. Both are
 	// part of the content address (they change what the job produces).
@@ -134,7 +137,7 @@ func invalidf(format string, args ...any) *Error {
 // round-trip the experiment path is built on.
 func (s *JobSpec) exptSpec() expt.Spec {
 	return expt.Spec{Seed: s.Seed, Scale: s.Scale, Fidelity: s.Fidelity, Energy: s.Energy,
-		Domains: s.Domains, MaxNodes: s.MaxNodes}
+		Domains: s.Domains, MaxWindow: s.MaxWindow, MaxNodes: s.MaxNodes}
 }
 
 // normalize validates the spec and rewrites it into canonical form:
@@ -158,7 +161,7 @@ func (s *JobSpec) normalize() error {
 	}
 	canon := cfg.Spec()
 	s.Seed, s.Scale, s.Fidelity, s.Energy = canon.Seed, canon.Scale, canon.Fidelity, canon.Energy
-	s.Domains, s.MaxNodes = canon.Domains, canon.MaxNodes
+	s.Domains, s.MaxWindow, s.MaxNodes = canon.Domains, canon.MaxWindow, canon.MaxNodes
 	if s.Workload != nil && s.MaxNodes != 0 {
 		return invalidf("max_nodes lifts experiment sweep ceilings; workload jobs size their own machines")
 	}
@@ -321,6 +324,9 @@ func (s *JobSpec) options() []deep.Option {
 	}
 	if s.Domains != 0 {
 		opts = append(opts, deep.WithDomains(s.Domains))
+	}
+	if s.MaxWindow > 1 {
+		opts = append(opts, deep.WithMaxWindow(s.MaxWindow))
 	}
 	if s.Trace {
 		opts = append(opts, deep.WithTracing())

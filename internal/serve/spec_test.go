@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/deep"
@@ -106,6 +107,29 @@ func TestNormalizeRejects(t *testing.T) {
 		if typed.Code != c.code {
 			t.Errorf("%s: code %s, want %s", name, typed.Code, c.code)
 		}
+	}
+}
+
+// TestNormalizeFaultsUnderDomains: fault injection on the partitioned
+// kernel is refused at submit time — normalize exercises NewMachine's
+// validation, so the client gets the clear message instead of a worker
+// failing later.
+func TestNormalizeFaultsUnderDomains(t *testing.T) {
+	spec := &JobSpec{
+		Workload: &WorkloadSpec{Kind: "spmv"},
+		Machine:  &MachineSpec{Faults: &FaultSpec{NodeMTBFS: 50, RepairS: 2, HorizonS: 300}},
+		Domains:  2,
+	}
+	err := spec.normalize()
+	if err == nil {
+		t.Fatal("normalize accepted faults under domains > 1")
+	}
+	var typed *Error
+	if !errors.As(err, &typed) || typed.Code != ErrInvalidRequest {
+		t.Fatalf("error %v is not a typed ErrInvalidRequest", err)
+	}
+	if !strings.Contains(err.Error(), "not supported under the partitioned kernel") {
+		t.Fatalf("error %q does not carry the partition message", err)
 	}
 }
 

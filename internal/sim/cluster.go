@@ -3,8 +3,10 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Cluster runs K engines — one spatial domain each, on its own
@@ -50,6 +52,20 @@ type Cluster struct {
 	blocked []uint64
 	maxNow  Time
 
+	// Adaptive windows (SetMaxWindow). widen is the current width
+	// multiplier W: a window spans W*lookahead and W doubles after every
+	// window that closes with zero cross-domain posts, up to maxWindow,
+	// resetting to 1 the moment cross traffic reappears. Widened windows
+	// cannot run the free-for-all RunWindow path — a cross post could
+	// land inside the widened span — so they run the gated per-timestamp
+	// protocol below, coordinated through the atomics.
+	maxWindow   int
+	widen       Time
+	wideWindows uint64
+	gated       bool           // true while a widened window executes; read by Post
+	limit       atomic.Int64   // inclusive execution bound of the widened window, clamped by Post
+	clocks      []atomic.Int64 // per-domain published intent clocks during a widened window
+
 	// OnWindow, when set, observes each completed window: its ordinal,
 	// the [start, deadline] bounds, and which domains executed (ran is
 	// reused across windows — copy it to retain). The observability
@@ -81,6 +97,8 @@ func NewCluster(k int, lookahead Time) *Cluster {
 		outbox:    make([][][]xev, k),
 		xseq:      make([]uint64, k),
 		blocked:   make([]uint64, k),
+		widen:     1,
+		clocks:    make([]atomic.Int64, k),
 	}
 	for i := range c.engines {
 		c.engines[i] = New()
@@ -99,23 +117,65 @@ func (c *Cluster) Domains() int { return len(c.engines) }
 // Lookahead returns the inter-domain lookahead bound.
 func (c *Cluster) Lookahead() Time { return c.lookahead }
 
-// WindowDeadline returns the current window's inclusive execution
-// bound. Domain-local proofs (the fabric's flow fast path) may rely on
-// it: no cross-domain event can be delivered at or before it.
+// WindowDeadline returns the current window's inclusive floor bound
+// minNext+lookahead-1. Domain-local proofs (the fabric's flow fast
+// path) may rely on it: no cross-domain event can be delivered at or
+// before it. Under adaptive widening the executed span may extend
+// beyond this floor, but every cross stamp still exceeds it — the
+// stamp is at least the window's minimum clock plus the lookahead —
+// so the guarantee is unchanged.
 func (c *Cluster) WindowDeadline() Time { return c.deadline }
+
+// SetMaxWindow caps adaptive window widening at mult times the
+// lookahead. With mult <= 1 (the default) every window spans exactly
+// one lookahead — the fixed policy, byte-identical to earlier
+// releases. With mult > 1 the coordinator doubles the next window's
+// span after each window that closes with zero cross-domain traffic,
+// up to the cap, and shrinks back to one lookahead as soon as cross
+// traffic reappears: sparse-communication phases pay geometrically
+// fewer barriers. Runs remain byte-stable for a fixed K and a fixed
+// cap, but fixed and adaptive policies may order simultaneous cross
+// events differently, so outputs are only comparable per policy.
+// Call before Run; the widening state persists across Run calls.
+func (c *Cluster) SetMaxWindow(mult int) {
+	if mult < 1 {
+		mult = 1
+	}
+	c.maxWindow = mult
+	c.widen = 1
+}
+
+// MaxWindow returns the adaptive widening cap (1 = fixed windows).
+func (c *Cluster) MaxWindow() int {
+	if c.maxWindow < 1 {
+		return 1
+	}
+	return c.maxWindow
+}
 
 // Now returns the maximum virtual time any domain has executed to.
 func (c *Cluster) Now() Time { return c.maxNow }
 
 // Post schedules fn at absolute time at on domain dst's engine, called
 // from domain src while it executes a window. The timestamp must lie
-// strictly beyond the current window deadline — the conservativeness
-// invariant; violating it means the caller's lookahead bound is wrong,
-// which would silently corrupt causality, so it panics.
+// at least one lookahead beyond the posting domain's clock — the
+// conservativeness invariant; violating it means the caller's
+// lookahead bound is wrong, which would silently corrupt causality, so
+// it panics. During a widened window the post also clamps the window's
+// execution limit to at-1 so no domain runs past the new event before
+// the barrier delivers it.
 func (c *Cluster) Post(src, dst int, at Time, fn func()) {
-	if at <= c.deadline {
-		panic(fmt.Sprintf("sim: cross-domain event at %v violates window deadline %v (lookahead %v too large)",
-			at, c.deadline, c.lookahead))
+	if at < c.engines[src].Now()+c.lookahead {
+		panic(fmt.Sprintf("sim: cross-domain event at %v from domain %d (clock %v) violates lookahead %v",
+			at, src, c.engines[src].Now(), c.lookahead))
+	}
+	if c.gated {
+		for {
+			cur := c.limit.Load()
+			if int64(at)-1 >= cur || c.limit.CompareAndSwap(cur, int64(at)-1) {
+				break
+			}
+		}
 	}
 	c.xseq[src]++
 	c.outbox[src][dst] = append(c.outbox[src][dst], xev{at: at, src: src, seq: c.xseq[src], dst: dst, fn: fn})
@@ -189,8 +249,14 @@ func (c *Cluster) Run() Time {
 		if !any {
 			break
 		}
-		d := minNext + c.lookahead - 1
-		c.deadline = d
+		w := Time(1)
+		if c.maxWindow > 1 {
+			w = c.widen
+		}
+		d := minNext + w*c.lookahead - 1
+		// The published deadline stays the one-lookahead floor: cross
+		// stamps always exceed it, whatever the widened span executes.
+		c.deadline = minNext + c.lookahead - 1
 		c.windows++
 		eligible := 0
 		for i := range ran {
@@ -201,7 +267,12 @@ func (c *Cluster) Run() Time {
 				c.blocked[i]++
 			}
 		}
-		if eligible == 1 {
+		crossBefore := c.posted()
+		end := d
+		if w > 1 {
+			end = c.runWide(d, nexts, ran, eligible)
+			c.wideWindows++
+		} else if eligible == 1 {
 			// A lone eligible domain runs inline: no goroutine, no
 			// synchronization cost for serial phases of the workload.
 			for i := range ran {
@@ -227,11 +298,120 @@ func (c *Cluster) Run() Time {
 				c.maxNow = e.Now()
 			}
 		}
+		if c.maxWindow > 1 {
+			if c.posted() == crossBefore {
+				if c.widen *= 2; c.widen > Time(c.maxWindow) {
+					c.widen = Time(c.maxWindow)
+				}
+			} else {
+				c.widen = 1
+			}
+		}
 		if c.OnWindow != nil {
-			c.OnWindow(c.windows, minNext, d, ran)
+			c.OnWindow(c.windows, minNext, end, ran)
 		}
 	}
 	return c.maxNow
+}
+
+// posted returns the total number of cross-domain posts ever issued —
+// the coordinator compares snapshots around a window to decide whether
+// to widen the next one.
+func (c *Cluster) posted() uint64 {
+	var t uint64
+	for _, s := range c.xseq {
+		t += s
+	}
+	return t
+}
+
+// runWide executes one widened window with inclusive deadline d under
+// the gated protocol and returns the time the window actually closed
+// at (d, or earlier if a cross post clamped it). A widened span may
+// contain cross stamps, so domains cannot free-run to the deadline the
+// way one-lookahead windows do. Instead each eligible domain executes
+// one timestamp batch at a time, publishing its next intent in
+// clocks[i] and gating on every other domain having advanced to
+// within one lookahead below the batch — at that point no peer can
+// post an event at or before it. A cross post clamps limit to stamp-1,
+// ending the window early so the barrier can deliver the event; the
+// executed set is a fixed point of the global (time, domain) order and
+// therefore independent of goroutine scheduling.
+func (c *Cluster) runWide(d Time, nexts []Time, ran []bool, eligible int) Time {
+	c.limit.Store(int64(d))
+	for i := range c.clocks {
+		if nexts[i] >= 0 {
+			c.clocks[i].Store(int64(nexts[i]))
+		} else {
+			c.clocks[i].Store(math.MaxInt64)
+		}
+	}
+	c.gated = true
+	if eligible == 1 {
+		for i := range ran {
+			if ran[i] {
+				c.gatedRun(i)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range ran {
+			if !ran[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.gatedRun(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	c.gated = false
+	return Time(c.limit.Load())
+}
+
+// gatedRun is domain i's worker loop inside a widened window: publish
+// the next event time, stop if it exceeds the (possibly clamped)
+// limit, pass the gate, execute exactly that timestamp, repeat.
+func (c *Cluster) gatedRun(i int) {
+	e := c.engines[i]
+	for {
+		t, ok := e.NextEventTime()
+		if !ok {
+			c.clocks[i].Store(math.MaxInt64)
+			return
+		}
+		c.clocks[i].Store(int64(t))
+		if !c.gatePass(i, t) {
+			return
+		}
+		e.RunWindow(t)
+	}
+}
+
+// gatePass blocks until every other domain's published intent clock
+// reaches t-lookahead+1 — from then on no peer can post an event
+// stamped at or before t, because stamps exceed the poster's clock by
+// at least the lookahead and clocks only advance. It returns false if
+// the window limit was clamped below t while waiting (a cross post
+// ended the window early); the final limit re-read after the gate
+// closes the race with a poster that clamped just before advancing
+// its clock.
+func (c *Cluster) gatePass(i int, t Time) bool {
+	gate := int64(t) - int64(c.lookahead) + 1
+	for j := range c.clocks {
+		if j == i {
+			continue
+		}
+		for c.clocks[j].Load() < gate {
+			if int64(t) > c.limit.Load() {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+	return int64(t) <= c.limit.Load()
 }
 
 // DomainStats is one domain's scheduler counters plus how often the
@@ -256,6 +436,10 @@ type ClusterStats struct {
 	Windows     uint64
 	CrossEvents uint64
 	Lookahead   Time
+	// MaxWindow is the adaptive widening cap in lookahead multiples
+	// (1 = fixed windows); WideWindows counts windows that ran widened.
+	MaxWindow   int
+	WideWindows uint64
 	// Agg sums the additive per-domain counters; MaxQueueDepth is the
 	// maximum across domains and BucketWidth is left zero (calendar
 	// geometry is per-engine and does not aggregate).
@@ -271,6 +455,8 @@ func (c *Cluster) Stats() ClusterStats {
 		Windows:     c.windows,
 		CrossEvents: c.cross,
 		Lookahead:   c.lookahead,
+		MaxWindow:   c.MaxWindow(),
+		WideWindows: c.wideWindows,
 		PerDomain:   make([]DomainStats, len(c.engines)),
 	}
 	for i, e := range c.engines {

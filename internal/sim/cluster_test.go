@@ -46,10 +46,12 @@ func pingPong(c *Cluster, n, msgs, hops int, latency Time, seed uint64, sinks []
 
 // runPingPong executes the model under k domains and returns the
 // delivery log in a canonical sorted order (deliveries are
-// independent, so the log is compared as a multiset).
-func runPingPong(k int, seed uint64) []string {
+// independent, so the log is compared as a multiset). maxWindow > 1
+// runs the adaptive widening policy.
+func runPingPong(k int, seed uint64, maxWindow int) []string {
 	const latency = 100 * Nanosecond
 	c := NewCluster(k, latency)
+	c.SetMaxWindow(maxWindow)
 	sinks := make([][]string, k)
 	perDomain := make([]*[]string, k)
 	for i := range perDomain {
@@ -66,12 +68,12 @@ func runPingPong(k int, seed uint64) []string {
 }
 
 func TestClusterMatchesSequential(t *testing.T) {
-	want := runPingPong(1, 7)
+	want := runPingPong(1, 7, 1)
 	if len(want) == 0 {
 		t.Fatal("sequential run recorded nothing")
 	}
-	for _, k := range []int{2, 3, 4, 8} {
-		got := runPingPong(k, 7)
+	for _, k := range []int{2, 3, 4, 6, 8} {
+		got := runPingPong(k, 7, 1)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("K=%d delivery log diverges from sequential: %d vs %d entries\nK:  %v\nseq: %v",
 				k, len(got), len(want), got, want)
@@ -81,11 +83,106 @@ func TestClusterMatchesSequential(t *testing.T) {
 
 func TestClusterDeterministicPerK(t *testing.T) {
 	for _, k := range []int{2, 5} {
-		a := runPingPong(k, 99)
-		b := runPingPong(k, 99)
+		a := runPingPong(k, 99, 1)
+		b := runPingPong(k, 99, 1)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("K=%d not deterministic across identical runs", k)
 		}
+	}
+}
+
+// TestClusterAdaptiveMatchesSequential: the gated wide-window protocol
+// must deliver exactly the sequential multiset even under dense cross
+// traffic that repeatedly clamps the widened deadline.
+func TestClusterAdaptiveMatchesSequential(t *testing.T) {
+	want := runPingPong(1, 7, 1)
+	for _, k := range []int{2, 3, 4, 6, 8} {
+		for _, mw := range []int{2, 8} {
+			got := runPingPong(k, 7, mw)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("K=%d maxWindow=%d delivery log diverges from sequential:\nK:  %v\nseq: %v",
+					k, mw, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterAdaptiveDeterministicPerK: adaptive runs are byte-stable
+// per (K, cap) pair — the clamped execution limit is a fixed point of
+// the event set, not of goroutine scheduling.
+func TestClusterAdaptiveDeterministicPerK(t *testing.T) {
+	for _, k := range []int{2, 5} {
+		a := runPingPong(k, 99, 8)
+		b := runPingPong(k, 99, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("K=%d adaptive run not deterministic across identical runs", k)
+		}
+	}
+}
+
+// TestClusterAdaptiveWidensOnQuietTraffic: a workload with zero cross
+// events must see the window count collapse by at least the doubling
+// geometry — the whole point of adaptive windows.
+func TestClusterAdaptiveWidensOnQuietTraffic(t *testing.T) {
+	run := func(maxWindow int) ClusterStats {
+		c := NewCluster(2, 10)
+		c.SetMaxWindow(maxWindow)
+		for d := 0; d < 2; d++ {
+			for i := 0; i < 64; i++ {
+				c.Engine(d).At(Time(1+10*i), func() {})
+			}
+		}
+		c.Run()
+		return c.Stats()
+	}
+	fixed, adaptive := run(1), run(8)
+	if fixed.Agg.Executed != adaptive.Agg.Executed {
+		t.Fatalf("executed counts diverge: fixed %d adaptive %d", fixed.Agg.Executed, adaptive.Agg.Executed)
+	}
+	if adaptive.Windows*2 > fixed.Windows {
+		t.Fatalf("adaptive windows %d not at least 2x below fixed %d", adaptive.Windows, fixed.Windows)
+	}
+	if adaptive.WideWindows == 0 {
+		t.Fatal("no widened windows recorded under maxWindow=8")
+	}
+	if adaptive.MaxWindow != 8 || fixed.MaxWindow != 1 {
+		t.Fatalf("MaxWindow stats = %d/%d, want 8/1", adaptive.MaxWindow, fixed.MaxWindow)
+	}
+}
+
+// TestClusterAdaptiveShrinksOnCross: a cross post inside a widened
+// window clamps the limit (the event is delivered at the next barrier,
+// never in a domain's past) and resets the width to one lookahead.
+func TestClusterAdaptiveShrinksOnCross(t *testing.T) {
+	c := NewCluster(2, 10)
+	c.SetMaxWindow(8)
+	var d0, d1 []Time // each appended only from its own domain's events
+	// Quiet prelude on both domains so the window widens.
+	for i := 0; i < 8; i++ {
+		at := Time(1 + 10*i)
+		c.Engine(0).At(at, func() { d0 = append(d0, at) })
+		c.Engine(1).At(at, func() {})
+	}
+	// Then domain 0 posts into domain 1 mid-widened-span: the clamp
+	// must stop every domain before 91, or engine 1 would receive the
+	// event in its past and panic.
+	c.Engine(0).At(81, func() {
+		c.Post(0, 1, 91, func() { d1 = append(d1, 91) })
+	})
+	c.Engine(0).At(95, func() { d0 = append(d0, 95) })
+	if end := c.Run(); end != 95 {
+		t.Fatalf("run ended at %v, want 95", end)
+	}
+	want0 := []Time{1, 11, 21, 31, 41, 51, 61, 71, 95}
+	if !reflect.DeepEqual(d0, want0) {
+		t.Fatalf("domain 0 execution order %v, want %v", d0, want0)
+	}
+	if !reflect.DeepEqual(d1, []Time{91}) {
+		t.Fatalf("domain 1 executed %v, want [91]", d1)
+	}
+	st := c.Stats()
+	if st.CrossEvents != 1 {
+		t.Fatalf("cross events %d, want 1", st.CrossEvents)
 	}
 }
 
@@ -226,6 +323,20 @@ func FuzzWindowMerge(f *testing.F) {
 		seedBuf = append(seedBuf, rec[:]...)
 	}
 	f.Add(seedBuf)
+	// Adaptive-deadline seed: cross events whose stamps span several
+	// lookahead windows — the shape a widened (SetMaxWindow) deadline
+	// merges at one barrier instead of one lookahead at a time.
+	wideBuf := make([]byte, 0, 192)
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 4; i++ {
+			var rec [12]byte
+			binary.LittleEndian.PutUint32(rec[0:], uint32(1+10*w+3*i))
+			binary.LittleEndian.PutUint32(rec[4:], uint32((w+i)%5))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(4*w+i))
+			wideBuf = append(wideBuf, rec[:]...)
+		}
+	}
+	f.Add(wideBuf)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var evs []xev
 		for len(data) >= 12 {

@@ -38,6 +38,17 @@ type NodeMajorLinks interface {
 	LinkDegree() int
 }
 
+// LinkOwner is implemented by topologies that can anchor every link to
+// a source node even though their link identifiers are not node-major.
+// The fabric's spatial domain decomposition uses the anchor to assign
+// each link to the domain owning that node; switch-level links should
+// anchor to the first node below the switch, so that partition bounds
+// aligned to switch boundaries keep each route's links inside the two
+// endpoint domains.
+type LinkOwner interface {
+	LinkOwner(l LinkID) NodeID
+}
+
 // HopCounter is implemented by topologies that can count route hops
 // without materializing the route. Cost-model transports (cbp, mpi)
 // query hop counts once per message, so the allocation-free path
